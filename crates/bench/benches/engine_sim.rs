@@ -1,0 +1,107 @@
+//! Criterion benchmarks of the end-to-end engine — one bench per paper
+//! artifact family, so `cargo bench` regenerates a compact version of
+//! every figure while also measuring the simulator's own speed
+//! (simulated I/Os per wall-clock second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use deliba_core::{Engine, EngineConfig, FioSpec, Generation, Mode, Pattern, RwMode};
+use std::hint::black_box;
+
+const OPS: u64 = 1_500;
+
+fn bench_generations_4k_randread(c: &mut Criterion) {
+    // Fig. 7's anchor cell for each generation.
+    let mut group = c.benchmark_group("fig7_rand_read_4k");
+    group.throughput(Throughput::Elements(OPS));
+    for g in [
+        Generation::DeLiBA1,
+        Generation::DeLiBA2,
+        Generation::DeLiBAK,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(g.label()), |b| {
+            b.iter(|| {
+                let mut e = Engine::new(EngineConfig::new(g, true, Mode::Replication));
+                let r = e.run_fio(&FioSpec::paper(RwMode::Read, Pattern::Rand, 4096, OPS));
+                black_box(r.kiops)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_size_sweep(c: &mut Criterion) {
+    // Fig. 6's DeLiBA-K write row.
+    let mut group = c.benchmark_group("fig6_deliba_k_writes");
+    for bs in [4096u32, 65_536, 131_072] {
+        group.bench_function(BenchmarkId::from_parameter(bs), |b| {
+            b.iter(|| {
+                let mut e = Engine::new(EngineConfig::new(
+                    Generation::DeLiBAK,
+                    true,
+                    Mode::Replication,
+                ));
+                let pat = if bs == 4096 { Pattern::Rand } else { Pattern::Seq };
+                let r = e.run_fio(&FioSpec::paper(RwMode::Write, pat, bs, OPS));
+                black_box(r.throughput_mbps)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_modes(c: &mut Criterion) {
+    // Figs. 6 vs 8: replication vs erasure coding on DeLiBA-K.
+    let mut group = c.benchmark_group("fig6_vs_fig8_modes");
+    for mode in [Mode::Replication, Mode::ErasureCoding] {
+        group.bench_function(BenchmarkId::from_parameter(mode.label()), |b| {
+            b.iter(|| {
+                let mut e = Engine::new(EngineConfig::new(Generation::DeLiBAK, true, mode));
+                let r = e.run_fio(&FioSpec::paper(RwMode::Write, Pattern::Rand, 4096, OPS));
+                black_box(r.throughput_mbps)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_latency_probe(c: &mut Criterion) {
+    // Table II's DeLiBA-K random-read cell.
+    c.bench_function("table2_deliba_k_latency_probe", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(EngineConfig::new(
+                Generation::DeLiBAK,
+                true,
+                Mode::Replication,
+            ));
+            let r = e.run_fio(&FioSpec::latency_probe(RwMode::Read, Pattern::Rand, 4096, 200));
+            black_box(r.mean_latency_us)
+        })
+    });
+}
+
+fn bench_sw_baseline(c: &mut Criterion) {
+    // Fig. 3's DeLiBA-K software path.
+    c.bench_function("fig3_deliba_k_sw_baseline", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(EngineConfig::new(
+                Generation::DeLiBAK,
+                false,
+                Mode::Replication,
+            ));
+            let r = e.run_fio(&FioSpec::paper(RwMode::Read, Pattern::Rand, 4096, OPS));
+            black_box(r.throughput_mbps)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_generations_4k_randread,
+        bench_block_size_sweep,
+        bench_modes,
+        bench_latency_probe,
+        bench_sw_baseline
+}
+criterion_main!(benches);

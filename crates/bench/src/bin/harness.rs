@@ -1,0 +1,60 @@
+//! The experiment harness: regenerate every table and figure of the
+//! DeLiBA-K paper.
+//!
+//! ```text
+//! harness [experiment ...] [--json]
+//!
+//! experiments: fig3 fig4 fig6 fig7 fig8 fig9
+//!              table1 table2 table3 power realworld headline dfx
+//!              ablation mtu
+//!              all (default)
+//! ```
+
+use deliba_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let mut wanted: Vec<String> = args.into_iter().filter(|a| a != "--json").collect();
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = [
+            "table1", "table2", "table3", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
+            "power", "realworld", "headline", "dfx", "ablation", "mtu",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let mut results: Vec<Experiment> = Vec::new();
+    for w in &wanted {
+        let exp = match w.as_str() {
+            "fig3" => fig3(),
+            "fig4" => fig4(),
+            "fig6" => fig6(),
+            "fig7" => fig7(),
+            "fig8" => fig8(),
+            "fig9" => fig9(),
+            "table1" => table1(),
+            "table2" => table2(),
+            "table3" => table3(),
+            "power" => power(),
+            "realworld" => realworld(),
+            "headline" => headline(),
+            "dfx" => dfx(),
+            "ablation" => ablation(),
+            "mtu" => mtu(),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        };
+        if !json {
+            exp.print();
+        }
+        results.push(exp);
+    }
+    if json {
+        println!("{}", serde_json::to_string_pretty(&results).expect("serializable"));
+    }
+}

@@ -1,0 +1,12 @@
+#![warn(missing_docs)]
+
+//! # deliba-bench — the experiment harness
+//!
+//! One function per table/figure of the paper; the `harness` binary
+//! drives them and prints paper-vs-measured rows.  Integration tests
+//! assert the *shape* criteria from DESIGN.md (who wins, by roughly what
+//! factor) rather than absolute values.
+
+pub mod experiments;
+
+pub use experiments::*;

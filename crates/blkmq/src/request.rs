@@ -1,0 +1,143 @@
+//! Block requests and merge rules.
+
+/// Logical sector size used throughout the block layer (bytes).
+pub const SECTOR_SIZE: u64 = 512;
+
+/// Operation carried by a block request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReqOp {
+    /// Read from the device.
+    Read,
+    /// Write to the device.
+    Write,
+    /// Flush the device write cache.
+    Flush,
+}
+
+impl ReqOp {
+    /// Reads may be dispatched ahead of writes by deadline-style
+    /// schedulers.
+    pub fn is_read(self) -> bool {
+        matches!(self, ReqOp::Read)
+    }
+}
+
+/// One block-layer request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRequest {
+    /// Operation.
+    pub op: ReqOp,
+    /// Starting sector.
+    pub sector: u64,
+    /// Total byte length (multiple merges accumulate here).
+    pub nr_bytes: u32,
+    /// Driver tag, assigned at dispatch.
+    pub tag: Option<u16>,
+    /// Submitting CPU (selects the software queue).
+    pub cpu: usize,
+    /// Submission timestamp (virtual ns) — basis for scheduler deadlines.
+    pub issue_ns: u64,
+    /// Correlation token for the layer above (io_uring `user_data`).
+    pub user_data: u64,
+}
+
+impl BlockRequest {
+    /// A new request; `nr_bytes` must be sector-aligned and non-zero.
+    pub fn new(op: ReqOp, sector: u64, nr_bytes: u32, cpu: usize, issue_ns: u64, user_data: u64) -> Self {
+        assert!(nr_bytes > 0, "zero-length request");
+        assert_eq!(
+            nr_bytes as u64 % SECTOR_SIZE,
+            0,
+            "request bytes must be sector-aligned"
+        );
+        BlockRequest {
+            op,
+            sector,
+            nr_bytes,
+            tag: None,
+            cpu,
+            issue_ns,
+            user_data,
+        }
+    }
+
+    /// First sector *after* this request.
+    pub fn end_sector(&self) -> u64 {
+        self.sector + self.nr_bytes as u64 / SECTOR_SIZE
+    }
+
+    /// Can `next` be back-merged onto `self` (same op, physically
+    /// contiguous, combined size within `max_bytes`)?
+    pub fn can_back_merge(&self, next: &BlockRequest, max_bytes: u32) -> bool {
+        self.op == next.op
+            && self.op != ReqOp::Flush
+            && self.end_sector() == next.sector
+            && self
+                .nr_bytes
+                .checked_add(next.nr_bytes)
+                .map(|t| t <= max_bytes)
+                .unwrap_or(false)
+    }
+
+    /// Absorb a contiguous successor.
+    ///
+    /// # Panics
+    /// Panics when [`BlockRequest::can_back_merge`] is false.
+    pub fn back_merge(&mut self, next: &BlockRequest, max_bytes: u32) {
+        assert!(self.can_back_merge(next, max_bytes), "illegal merge");
+        self.nr_bytes += next.nr_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(op: ReqOp, sector: u64, bytes: u32) -> BlockRequest {
+        BlockRequest::new(op, sector, bytes, 0, 0, 0)
+    }
+
+    #[test]
+    fn end_sector_math() {
+        let r = req(ReqOp::Read, 100, 4096);
+        assert_eq!(r.end_sector(), 108);
+    }
+
+    #[test]
+    fn contiguous_same_op_merges() {
+        let mut a = req(ReqOp::Write, 0, 4096);
+        let b = req(ReqOp::Write, 8, 4096);
+        assert!(a.can_back_merge(&b, 1 << 20));
+        a.back_merge(&b, 1 << 20);
+        assert_eq!(a.nr_bytes, 8192);
+        assert_eq!(a.end_sector(), 16);
+    }
+
+    #[test]
+    fn merge_rejections() {
+        let a = req(ReqOp::Write, 0, 4096);
+        // Different op.
+        assert!(!a.can_back_merge(&req(ReqOp::Read, 8, 4096), 1 << 20));
+        // Gap.
+        assert!(!a.can_back_merge(&req(ReqOp::Write, 9, 4096), 1 << 20));
+        // Overlap.
+        assert!(!a.can_back_merge(&req(ReqOp::Write, 7, 4096), 1 << 20));
+        // Size cap.
+        assert!(!a.can_back_merge(&req(ReqOp::Write, 8, 4096), 6000));
+        // Flushes never merge.
+        let f = req(ReqOp::Flush, 0, 512);
+        assert!(!f.can_back_merge(&req(ReqOp::Flush, 1, 512), 1 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "sector-aligned")]
+    fn unaligned_request_rejected() {
+        req(ReqOp::Read, 0, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_length_rejected() {
+        req(ReqOp::Read, 0, 0);
+    }
+}

@@ -1,0 +1,284 @@
+//! MQ I/O schedulers — and the DeLiBA-K bypass.
+//!
+//! Three policies:
+//!
+//! * [`SchedPolicy::None`] — the DeLiBA-K DMQ bypass: requests go
+//!   straight to the hardware context.  Legal because each io_uring
+//!   instance is already pinned to one core and one hardware queue, so
+//!   cross-request ordering/fairness work is pure overhead (§III-B).
+//! * [`SchedPolicy::Fifo`] — the `none` elevator with merging: requests
+//!   dispatch in arrival order, contiguous neighbours back-merge.
+//! * [`SchedPolicy::MqDeadline`] — a model of mq-deadline: reads and
+//!   writes keep separate FIFOs with deadlines (500 µs / 5 ms, the
+//!   kernel defaults); expired requests dispatch first, reads are
+//!   preferred, writes are dispatched in starvation-bounded batches.
+
+use crate::request::BlockRequest;
+use std::collections::VecDeque;
+
+/// Scheduler selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// DeLiBA-K bypass: no scheduler queueing at all.
+    None,
+    /// FIFO with back-merging.
+    Fifo,
+    /// mq-deadline model.
+    MqDeadline,
+}
+
+/// Kernel-default deadlines (ns).
+pub const READ_DEADLINE_NS: u64 = 500_000; // 500 µs
+/// Write deadline (ns).
+pub const WRITE_DEADLINE_NS: u64 = 5_000_000; // 5 ms
+/// Writes dispatched for every starvation check.
+pub const WRITES_STARVED_LIMIT: u32 = 2;
+/// Maximum merged request size.
+pub const MAX_MERGED_BYTES: u32 = 1 << 20;
+
+/// A scheduler instance attached to one hardware context.
+#[derive(Debug)]
+pub struct Scheduler {
+    policy: SchedPolicy,
+    reads: VecDeque<BlockRequest>,
+    writes: VecDeque<BlockRequest>,
+    starved: u32,
+    merged: u64,
+    inserted: u64,
+}
+
+impl Scheduler {
+    /// New scheduler with the given policy.
+    pub fn new(policy: SchedPolicy) -> Self {
+        Scheduler {
+            policy,
+            reads: VecDeque::new(),
+            writes: VecDeque::new(),
+            starved: 0,
+            merged: 0,
+            inserted: 0,
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// Requests merged away so far.
+    pub fn merged(&self) -> u64 {
+        self.merged
+    }
+
+    /// Requests inserted so far.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Pending request count.
+    pub fn pending(&self) -> usize {
+        self.reads.len() + self.writes.len()
+    }
+
+    /// Insert a request.  Returns `true` when it was merged into an
+    /// existing request (no new dispatch entry).  With
+    /// [`SchedPolicy::None`] the caller must dispatch immediately —
+    /// insert stores nothing beyond a pass-through slot.
+    pub fn insert(&mut self, req: BlockRequest) -> bool {
+        self.inserted += 1;
+        let queue = if req.op.is_read() {
+            &mut self.reads
+        } else {
+            &mut self.writes
+        };
+        if self.policy != SchedPolicy::None {
+            // Attempt a back-merge with the most recent request — the
+            // common sequential-stream case the block layer optimizes.
+            if let Some(last) = queue.back_mut() {
+                if last.can_back_merge(&req, MAX_MERGED_BYTES) {
+                    last.back_merge(&req, MAX_MERGED_BYTES);
+                    self.merged += 1;
+                    return true;
+                }
+            }
+        }
+        queue.push_back(req);
+        false
+    }
+
+    /// Pull up to `max` requests for dispatch at virtual time `now_ns`.
+    pub fn dispatch(&mut self, now_ns: u64, max: usize) -> Vec<BlockRequest> {
+        let mut out = Vec::new();
+        match self.policy {
+            SchedPolicy::None | SchedPolicy::Fifo => {
+                // Arrival order across both queues (stable by issue time).
+                while out.len() < max {
+                    let take_read = match (self.reads.front(), self.writes.front()) {
+                        (Some(r), Some(w)) => r.issue_ns <= w.issue_ns,
+                        (Some(_), None) => true,
+                        (None, Some(_)) => false,
+                        (None, None) => break,
+                    };
+                    let req = if take_read {
+                        self.reads.pop_front()
+                    } else {
+                        self.writes.pop_front()
+                    };
+                    out.push(req.expect("non-empty queue"));
+                }
+            }
+            SchedPolicy::MqDeadline => {
+                while out.len() < max {
+                    match self.pick_deadline(now_ns) {
+                        Some(req) => out.push(req),
+                        None => break,
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn pick_deadline(&mut self, now_ns: u64) -> Option<BlockRequest> {
+        let read_expired = self
+            .reads
+            .front()
+            .map(|r| now_ns >= r.issue_ns + READ_DEADLINE_NS)
+            .unwrap_or(false);
+        let write_expired = self
+            .writes
+            .front()
+            .map(|w| now_ns >= w.issue_ns + WRITE_DEADLINE_NS)
+            .unwrap_or(false);
+
+        // Expired writes win over expired reads only when writes have
+        // starved long enough.
+        if write_expired && (self.starved >= WRITES_STARVED_LIMIT || !read_expired) {
+            self.starved = 0;
+            return self.writes.pop_front();
+        }
+        if read_expired {
+            self.starved += 1;
+            return self.reads.pop_front();
+        }
+        // No deadline pressure: prefer reads, with write starvation bound.
+        if !self.reads.is_empty() && self.starved < WRITES_STARVED_LIMIT {
+            self.starved += 1;
+            return self.reads.pop_front();
+        }
+        if let Some(w) = self.writes.pop_front() {
+            self.starved = 0;
+            return Some(w);
+        }
+        self.starved = 0;
+        self.reads.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ReqOp;
+
+    fn read(sector: u64, t: u64) -> BlockRequest {
+        BlockRequest::new(ReqOp::Read, sector, 4096, 0, t, 0)
+    }
+    fn write(sector: u64, t: u64) -> BlockRequest {
+        BlockRequest::new(ReqOp::Write, sector, 4096, 0, t, 0)
+    }
+
+    #[test]
+    fn fifo_preserves_arrival_order() {
+        let mut s = Scheduler::new(SchedPolicy::Fifo);
+        s.insert(read(0, 10));
+        s.insert(write(100, 20));
+        s.insert(read(200, 30));
+        let d = s.dispatch(1000, 10);
+        let times: Vec<u64> = d.iter().map(|r| r.issue_ns).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn fifo_merges_sequential_stream() {
+        let mut s = Scheduler::new(SchedPolicy::Fifo);
+        // 8 contiguous 4k writes → one 32k request.
+        for i in 0..8 {
+            let merged = s.insert(write(i * 8, i));
+            assert_eq!(merged, i > 0);
+        }
+        let d = s.dispatch(0, 10);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].nr_bytes, 32 * 1024);
+        assert_eq!(s.merged(), 7);
+    }
+
+    #[test]
+    fn bypass_never_merges() {
+        let mut s = Scheduler::new(SchedPolicy::None);
+        for i in 0..4 {
+            assert!(!s.insert(write(i * 8, i)));
+        }
+        assert_eq!(s.dispatch(0, 10).len(), 4);
+        assert_eq!(s.merged(), 0);
+    }
+
+    #[test]
+    fn merge_size_cap_respected() {
+        let mut s = Scheduler::new(SchedPolicy::Fifo);
+        // 1 MiB + one more 4k: the extra request must not merge.
+        let sectors_per_1m = (MAX_MERGED_BYTES as u64) / 512;
+        s.insert(BlockRequest::new(ReqOp::Write, 0, MAX_MERGED_BYTES, 0, 0, 0));
+        assert!(!s.insert(write(sectors_per_1m, 1)));
+        assert_eq!(s.dispatch(0, 10).len(), 2);
+    }
+
+    #[test]
+    fn deadline_prefers_reads() {
+        let mut s = Scheduler::new(SchedPolicy::MqDeadline);
+        s.insert(write(0, 0));
+        s.insert(read(100, 1));
+        s.insert(read(200, 2));
+        let d = s.dispatch(10, 2);
+        assert!(d.iter().all(|r| r.op == ReqOp::Read), "{d:?}");
+    }
+
+    #[test]
+    fn deadline_bounds_write_starvation() {
+        let mut s = Scheduler::new(SchedPolicy::MqDeadline);
+        s.insert(write(0, 0));
+        for i in 0..10 {
+            s.insert(read(100 + i * 8, i));
+        }
+        let d = s.dispatch(10, 10);
+        // After WRITES_STARVED_LIMIT reads, the write must appear.
+        let pos = d.iter().position(|r| r.op == ReqOp::Write).unwrap();
+        assert!(pos <= WRITES_STARVED_LIMIT as usize, "write at {pos}");
+    }
+
+    #[test]
+    fn deadline_expiry_forces_write_dispatch() {
+        let mut s = Scheduler::new(SchedPolicy::MqDeadline);
+        s.insert(write(0, 0));
+        s.insert(read(100, WRITE_DEADLINE_NS + 100));
+        // Far in the future, write is long expired; read is fresh but
+        // starved counter is 0 so read would normally win — expiry wins.
+        let d = s.dispatch(WRITE_DEADLINE_NS + 200, 1);
+        assert_eq!(d[0].op, ReqOp::Write);
+    }
+
+    #[test]
+    fn dispatch_respects_max() {
+        let mut s = Scheduler::new(SchedPolicy::Fifo);
+        for i in 0..10 {
+            s.insert(read(i * 1000, i)); // non-contiguous: no merging
+        }
+        assert_eq!(s.dispatch(0, 3).len(), 3);
+        assert_eq!(s.pending(), 7);
+    }
+
+    #[test]
+    fn empty_dispatch() {
+        let mut s = Scheduler::new(SchedPolicy::MqDeadline);
+        assert!(s.dispatch(0, 8).is_empty());
+    }
+}

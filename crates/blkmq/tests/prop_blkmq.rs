@@ -1,0 +1,102 @@
+//! Property tests for the block layer: tag uniqueness, merge
+//! correctness, and dispatch conservation under arbitrary request
+//! streams.
+
+use deliba_blkmq::{BlockRequest, MultiQueue, ReqOp, SchedPolicy, TagSet};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_op() -> impl Strategy<Value = ReqOp> {
+    prop_oneof![Just(ReqOp::Read), Just(ReqOp::Write)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Tags handed out concurrently-alive are always unique, and
+    /// alloc/free round-trips restore full capacity.
+    #[test]
+    fn tags_unique_while_held(
+        depth in 1u16..512,
+        frees in proptest::collection::vec(any::<u16>(), 0..64),
+    ) {
+        let ts = TagSet::new(depth);
+        let mut held = HashSet::new();
+        while let Some(t) = ts.alloc(0) {
+            prop_assert!(held.insert(t), "duplicate tag {}", t);
+        }
+        prop_assert_eq!(held.len(), depth as usize);
+        // Free a pseudo-random subset, then re-alloc: still unique.
+        let mut freed = HashSet::new();
+        for f in frees {
+            let t = f % depth;
+            if held.remove(&t) && freed.insert(t) {
+                ts.free(t);
+            }
+        }
+        for _ in 0..freed.len() {
+            let t = ts.alloc(1).expect("freed tags reusable");
+            prop_assert!(held.insert(t), "duplicate after refree {}", t);
+        }
+        prop_assert!(ts.alloc(2).is_none(), "full again");
+    }
+
+    /// Every inserted request is eventually dispatched exactly once
+    /// (by byte count — merges combine requests but never lose bytes),
+    /// regardless of scheduler policy.
+    #[test]
+    fn dispatch_conserves_bytes(
+        policy_idx in 0usize..3,
+        reqs in proptest::collection::vec(
+            (arb_op(), 0u64..10_000, 1u32..32), 1..80),
+    ) {
+        let policy = [SchedPolicy::None, SchedPolicy::Fifo, SchedPolicy::MqDeadline][policy_idx];
+        let mq = MultiQueue::new(2, 2, 256, policy);
+        let mut inserted_bytes = 0u64;
+        for (i, (op, sector, sectors)) in reqs.iter().enumerate() {
+            let bytes = sectors * 512;
+            inserted_bytes += bytes as u64;
+            mq.insert(BlockRequest::new(*op, *sector, bytes, i % 2, i as u64, i as u64));
+        }
+        let mut dispatched_bytes = 0u64;
+        let mut guard = 0;
+        while dispatched_bytes < inserted_bytes {
+            guard += 1;
+            prop_assert!(guard < 10_000, "livelock");
+            let mut progress = false;
+            for h in 0..2 {
+                for r in mq.dispatch(h, guard * 1_000_000, 64) {
+                    dispatched_bytes += r.nr_bytes as u64;
+                    mq.complete(&r);
+                    progress = true;
+                }
+            }
+            if !progress && dispatched_bytes != inserted_bytes {
+                prop_assert!(false, "stalled at {}/{}", dispatched_bytes, inserted_bytes);
+            }
+        }
+        prop_assert_eq!(dispatched_bytes, inserted_bytes);
+        prop_assert_eq!(mq.tags().in_use(), 0);
+    }
+
+    /// Merging only ever happens between same-op contiguous requests.
+    #[test]
+    fn merge_preserves_extents(
+        sectors in proptest::collection::vec(0u64..64, 1..40),
+    ) {
+        let mq = MultiQueue::new(1, 1, 256, SchedPolicy::Fifo);
+        // Insert 4 KiB writes at the given sectors (×8 to stay aligned).
+        let mut total = 0u64;
+        for (i, &s) in sectors.iter().enumerate() {
+            mq.insert(BlockRequest::new(ReqOp::Write, s * 8, 4096, 0, i as u64, i as u64));
+            total += 4096;
+        }
+        let reqs = mq.dispatch(0, 0, 256);
+        let got: u64 = reqs.iter().map(|r| r.nr_bytes as u64).sum();
+        prop_assert_eq!(got, total, "merging conserves bytes");
+        for r in &reqs {
+            prop_assert_eq!(r.nr_bytes % 4096, 0, "merged sizes are block multiples");
+            mq.complete(r);
+        }
+    }
+}

@@ -1,0 +1,1105 @@
+//! The assembled cluster: OSDs + network + map + I/O pipelines.
+//!
+//! Implements the two data paths every DeLiBA evaluation exercises:
+//!
+//! * **Primary-copy replication** — the client sends the object to the
+//!   PG primary; the primary applies it locally and forwards to the
+//!   replica OSDs (server-to-server traffic); the write commits when all
+//!   copies ack (§III-C: "replication operations … the two methods used
+//!   in Ceph for data durability").
+//! * **Erasure coding** — the client (in DeLiBA: the FPGA) encodes the
+//!   object into `k + m` shards and fans them out to the acting set;
+//!   reads gather any `k` shards and reconstruct.
+//!
+//! Data is real: every write stores bytes in OSD object stores, every
+//! read returns them, failure injection yields degraded-but-correct
+//! reads, and [`Cluster::scrub`] verifies replica/parity consistency.
+
+use crate::object::ObjectId;
+use crate::osd::{Osd, OsdProfile};
+use crate::osdmap::OsdMap;
+use crate::pool::{PoolConfig, PoolKind};
+use bytes::Bytes;
+use deliba_crush::rule::Rule;
+use deliba_crush::{MapBuilder, RuleStep};
+use deliba_ec::ReedSolomon;
+use deliba_net::{FrameConfig, Topology};
+use deliba_sim::{SimDuration, SimTime, Xoshiro256};
+use std::collections::BTreeMap;
+
+/// Cross-server commit-ack latency (tiny message, switch + stack).
+const ACK_CROSS_SERVER: SimDuration = SimDuration(4_000);
+/// Same-server OSD-to-OSD forward/ack latency (loopback messenger).
+const ACK_SAME_SERVER: SimDuration = SimDuration(2_000);
+/// Size of a request/ack control message on the wire.
+const CONTROL_BYTES: u64 = 200;
+/// Cut-through pipeline latency: the primary begins forwarding to
+/// replicas while the client payload is still streaming in, so the
+/// forward lags the client send by only the messenger pipeline, not a
+/// full store-and-forward hop.
+const CUT_THROUGH: SimDuration = SimDuration(2_000);
+
+/// Replicated-pool rule id with OSD-level failure domains (the paper's
+/// 2-server testbed cannot host 3 host-disjoint copies).
+pub const RULE_REPLICATED_OSD: u32 = 10;
+/// EC rule id with OSD-level failure domains.
+pub const RULE_EC_OSD: u32 = 11;
+
+/// Result of one object-level operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoOutcome {
+    /// Commit/visible time at the client.
+    pub complete: SimTime,
+    /// Logical payload bytes.
+    pub bytes: u64,
+    /// True when the op proceeded with fewer than `width` healthy
+    /// positions.
+    pub degraded: bool,
+}
+
+/// Recovery (backfill) findings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Objects examined.
+    pub objects: u64,
+    /// Objects that needed copies/shards re-created.
+    pub recovered: u64,
+    /// Payload bytes moved between OSDs.
+    pub bytes_moved: u64,
+    /// Virtual time at which the last backfill write committed.
+    pub completed: SimTime,
+}
+
+/// Scrub findings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Objects inspected.
+    pub objects: u64,
+    /// Replicas/shards compared.
+    pub copies: u64,
+    /// Mismatching copies found.
+    pub inconsistencies: u64,
+}
+
+/// Shard placement record: original object length plus `(osd, shard
+/// index)` pairs.
+type ShardPlacement = (usize, Vec<(i32, usize)>);
+
+/// The cluster.
+pub struct Cluster {
+    map: OsdMap,
+    osds: Vec<Osd>,
+    topology: Topology,
+    per_server: usize,
+    /// Where each replicated object's copies were written.
+    replica_dir: BTreeMap<ObjectId, Vec<i32>>,
+    /// Where each EC object's shards were written.
+    shard_dir: BTreeMap<ObjectId, ShardPlacement>,
+}
+
+impl Cluster {
+    /// Build a cluster of `servers × per_server` OSDs with the given
+    /// profile.  Pools must be added afterwards (see
+    /// [`Cluster::paper_testbed`]).
+    pub fn new(servers: usize, per_server: usize, profile: OsdProfile, seed: u64) -> Self {
+        Self::with_frames(servers, per_server, profile, seed, FrameConfig::standard())
+    }
+
+    /// As [`Cluster::new`] but with explicit Ethernet framing (§IV-B:
+    /// the design supports standard 1518 B and jumbo 9018 B frames).
+    pub fn with_frames(
+        servers: usize,
+        per_server: usize,
+        profile: OsdProfile,
+        seed: u64,
+        frames: FrameConfig,
+    ) -> Self {
+        let mut crush = MapBuilder::new().build(servers, per_server);
+        // OSD-level failure-domain rules (domain type 0 = device).
+        crush.add_rule(Rule {
+            id: RULE_REPLICATED_OSD,
+            name: "replicated-osd".into(),
+            steps: vec![
+                RuleStep::Take(-1),
+                RuleStep::ChooseLeaf { num: 0, bucket_type: 0 },
+                RuleStep::Emit,
+            ],
+        });
+        crush.add_rule(Rule {
+            id: RULE_EC_OSD,
+            name: "erasure-osd".into(),
+            steps: vec![
+                RuleStep::Take(-1),
+                RuleStep::ChooseLeaf { num: 0, bucket_type: 0 },
+                RuleStep::Emit,
+            ],
+        });
+        let mut root_rng = Xoshiro256::seed_from_u64(seed);
+        let osds = (0..servers * per_server)
+            .map(|id| Osd::new(id as i32, id / per_server, profile, root_rng.jump()))
+            .collect();
+        Cluster {
+            map: OsdMap::new(crush),
+            osds,
+            topology: Topology::new(
+                servers,
+                deliba_net::link::MEASURED_GBPS,
+                deliba_net::link::PROPAGATION,
+                frames,
+            ),
+            per_server,
+            replica_dir: BTreeMap::new(),
+            shard_dir: BTreeMap::new(),
+        }
+    }
+
+    /// The paper's testbed: 2 servers × 16 OSDs, pool 1 = replicated
+    /// (size 3, OSD domains), pool 2 = EC (k 4, m 2, OSD domains).
+    pub fn paper_testbed(seed: u64) -> Self {
+        Self::paper_testbed_with_frames(seed, FrameConfig::standard())
+    }
+
+    /// The paper's testbed with explicit framing (jumbo-MTU studies).
+    pub fn paper_testbed_with_frames(seed: u64, frames: FrameConfig) -> Self {
+        let mut c = Cluster::with_frames(2, 16, OsdProfile::lab_ssd(), seed, frames);
+        c.map.add_pool(PoolConfig::replicated(
+            1,
+            "rbd-replicated",
+            3,
+            128,
+            RULE_REPLICATED_OSD,
+        ));
+        c.map
+            .add_pool(PoolConfig::erasure(2, "rbd-ec", 4, 2, 128, RULE_EC_OSD));
+        c
+    }
+
+    /// The cluster map.
+    pub fn map(&self) -> &OsdMap {
+        &self.map
+    }
+
+    /// Network topology (for utilization reporting).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Which server hosts an OSD.
+    pub fn server_of(&self, osd: i32) -> usize {
+        osd as usize / self.per_server
+    }
+
+    /// Total OSD count.
+    pub fn num_osds(&self) -> usize {
+        self.osds.len()
+    }
+
+    /// Inject an OSD failure.
+    pub fn fail_osd(&mut self, osd: i32) {
+        self.osds[osd as usize].set_up(false);
+        self.map.mark_osd_down(osd);
+    }
+
+    /// Revive an OSD.  Objects it missed while down are healed by
+    /// [`Cluster::recover`]; until then, degraded reads work through the
+    /// copy directory.
+    pub fn revive_osd(&mut self, osd: i32) {
+        self.osds[osd as usize].set_up(true);
+        self.map.mark_osd_up(osd);
+    }
+
+    /// Recovery / backfill pass for a pool (what Ceph's recovery state
+    /// machine does after the map changes): for every object whose copy
+    /// set no longer matches the current acting set, read a surviving
+    /// copy and backfill the missing positions over the cluster network.
+    /// Replicated pools copy whole objects; EC pools reconstruct the
+    /// missing shards from any `k` survivors.
+    pub fn recover(&mut self, now: SimTime, pool_id: u32) -> RecoveryReport {
+        let pool = self.pool(pool_id).clone();
+        let mut report = RecoveryReport {
+            completed: now,
+            ..RecoveryReport::default()
+        };
+        match pool.kind {
+            PoolKind::Replicated { .. } => {
+                let entries: Vec<(ObjectId, Vec<i32>)> = self
+                    .replica_dir
+                    .iter()
+                    .filter(|(oid, _)| oid.pool == pool_id)
+                    .map(|(o, v)| (*o, v.clone()))
+                    .collect();
+                for (oid, holders) in entries {
+                    report.objects += 1;
+                    let acting = self.map.acting_set(pool.pg_of(oid));
+                    // A healthy source among current holders.
+                    let Some(&src) = holders
+                        .iter()
+                        .find(|&&o| self.osds[o as usize].is_up()
+                            && self.osds[o as usize].store().version(oid).is_some())
+                    else {
+                        continue; // unrecoverable (all copies gone)
+                    };
+                    let mut new_holders = Vec::new();
+                    let mut moved = false;
+                    for &dst in &acting {
+                        if !self.osds[dst as usize].is_up() {
+                            continue;
+                        }
+                        if self.osds[dst as usize].store().version(oid).is_some() {
+                            new_holders.push(dst);
+                            continue;
+                        }
+                        // Backfill src → dst over the cluster network.
+                        let data = self.osds[src as usize]
+                            .store_mut()
+                            .read(oid)
+                            .expect("source verified");
+                        let len = data.len() as u64;
+                        let s_from = self.server_of(src);
+                        let s_to = self.server_of(dst);
+                        let arrive = if s_from == s_to {
+                            now + ACK_SAME_SERVER
+                        } else {
+                            self.topology.server_to_server(now, s_from, s_to, len)
+                        };
+                        let fin = self.osds[dst as usize]
+                            .write_object(arrive, oid, data, false)
+                            .expect("destination is up");
+                        report.bytes_moved += len;
+                        report.completed = report.completed.max(fin);
+                        new_holders.push(dst);
+                        moved = true;
+                    }
+                    if moved {
+                        report.recovered += 1;
+                    }
+                    if !new_holders.is_empty() {
+                        self.replica_dir.insert(oid, new_holders);
+                    }
+                }
+            }
+            PoolKind::Erasure { k, m } => {
+                let rs = ReedSolomon::new(k, m);
+                let entries: Vec<(ObjectId, ShardPlacement)> = self
+                    .shard_dir
+                    .iter()
+                    .filter(|(oid, _)| oid.pool == pool_id)
+                    .map(|(o, p)| (*o, p.clone()))
+                    .collect();
+                for (oid, (orig_len, placed)) in entries {
+                    report.objects += 1;
+                    // Collect surviving shards.
+                    let mut slots: Vec<Option<Vec<u8>>> = vec![None; k + m];
+                    let mut survivors: Vec<(i32, usize)> = Vec::new();
+                    for &(osd, idx) in &placed {
+                        if self.osds[osd as usize].is_up() {
+                            if let Some(d) = self.osds[osd as usize].store_mut().read(oid) {
+                                slots[idx] = Some(d.to_vec());
+                                survivors.push((osd, idx));
+                            }
+                        }
+                    }
+                    if survivors.len() == k + m {
+                        continue; // healthy
+                    }
+                    if rs.reconstruct(&mut slots).is_err() {
+                        continue; // unrecoverable
+                    }
+                    // Rebuild parity as well.
+                    let data_shards: Vec<Vec<u8>> =
+                        (0..k).map(|i| slots[i].clone().expect("reconstructed")).collect();
+                    let parity = rs.encode_parity(&data_shards);
+                    for (pi, p) in parity.into_iter().enumerate() {
+                        slots[k + pi] = Some(p);
+                    }
+                    // Re-place missing shard indices on healthy acting
+                    // OSDs not already holding one.
+                    let acting = self.map.acting_set(pool.pg_of(oid));
+                    let held: Vec<i32> = survivors.iter().map(|&(o, _)| o).collect();
+                    let missing_idx: Vec<usize> = (0..k + m)
+                        .filter(|i| !survivors.iter().any(|&(_, idx)| idx == *i))
+                        .collect();
+                    let target_list: Vec<i32> = acting
+                        .into_iter()
+                        .filter(|o| self.osds[*o as usize].is_up() && !held.contains(o))
+                        .collect();
+                    let mut targets = target_list.into_iter();
+                    let mut new_placed = survivors.clone();
+                    let mut moved = false;
+                    for idx in missing_idx {
+                        let Some(dst) = targets.next() else { break };
+                        let shard = slots[idx].clone().expect("filled above");
+                        let len = shard.len() as u64;
+                        // Reconstruction runs on the client: shards flow
+                        // client → destination server.
+                        let arrive = self.topology.client_to_server(
+                            now,
+                            self.server_of(dst),
+                            len,
+                        );
+                        let fin = self.osds[dst as usize]
+                            .write_object(arrive, oid, Bytes::from(shard), false)
+                            .expect("destination is up");
+                        report.bytes_moved += len;
+                        report.completed = report.completed.max(fin);
+                        new_placed.push((dst, idx));
+                        moved = true;
+                    }
+                    if moved {
+                        report.recovered += 1;
+                        self.shard_dir.insert(oid, (orig_len, new_placed));
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    fn pool(&self, id: u32) -> &PoolConfig {
+        self.map.pool(id).expect("pool exists")
+    }
+
+    /// Replicated write of a whole object.  Returns `None` only when no
+    /// healthy copy could be written at all.
+    pub fn write_replicated(
+        &mut self,
+        now: SimTime,
+        oid: ObjectId,
+        data: Bytes,
+        random: bool,
+    ) -> Option<IoOutcome> {
+        let pool = self.pool(oid.pool).clone();
+        let PoolKind::Replicated { size } = pool.kind else {
+            panic!("write_replicated on a non-replicated pool");
+        };
+        let acting = self.map.acting_set(pool.pg_of(oid));
+        let healthy: Vec<i32> = acting
+            .iter()
+            .copied()
+            .filter(|&o| self.osds[o as usize].is_up())
+            .collect();
+        let primary = *healthy.first()?;
+        let p_server = self.server_of(primary);
+
+        // 1. Client ships the object to the primary.
+        let at_primary = self
+            .topology
+            .client_to_server(now, p_server, data.len() as u64);
+
+        // 2. Primary applies locally and forwards to replicas in
+        //    parallel.
+        let p_fin = self.osds[primary as usize]
+            .write_object(at_primary, oid, data.clone(), random)
+            .expect("primary is healthy");
+        let mut commit = p_fin;
+        for &rep in healthy.iter().skip(1) {
+            let r_server = self.server_of(rep);
+            let arrive = if r_server == p_server {
+                at_primary + ACK_SAME_SERVER
+            } else {
+                // Cut-through: the forward streams on the cluster network
+                // overlapped with the client transfer.
+                self.topology
+                    .server_to_server(now + CUT_THROUGH, p_server, r_server, data.len() as u64)
+                    .max(at_primary)
+            };
+            let r_fin = self.osds[rep as usize]
+                .write_object(arrive, oid, data.clone(), random)
+                .expect("replica is healthy");
+            let ack = if r_server == p_server {
+                r_fin + ACK_SAME_SERVER
+            } else {
+                r_fin + ACK_CROSS_SERVER
+            };
+            commit = commit.max(ack);
+        }
+
+        // 3. Primary acks the client.
+        let done = self
+            .topology
+            .server_to_client(commit, p_server, CONTROL_BYTES);
+        self.replica_dir.insert(oid, healthy.clone());
+        Some(IoOutcome {
+            complete: done,
+            bytes: data.len() as u64,
+            degraded: healthy.len() < size,
+        })
+    }
+
+    /// Replicated partial write of `data` at `offset` within the object
+    /// (the RBD driver's common case).  Same commit pipeline as
+    /// [`Cluster::write_replicated`].
+    pub fn write_replicated_at(
+        &mut self,
+        now: SimTime,
+        oid: ObjectId,
+        offset: usize,
+        data: &[u8],
+        random: bool,
+    ) -> Option<IoOutcome> {
+        let pool = self.pool(oid.pool).clone();
+        let PoolKind::Replicated { size } = pool.kind else {
+            panic!("write_replicated_at on a non-replicated pool");
+        };
+        let acting = self.map.acting_set(pool.pg_of(oid));
+        let healthy: Vec<i32> = acting
+            .iter()
+            .copied()
+            .filter(|&o| self.osds[o as usize].is_up())
+            .collect();
+        let primary = *healthy.first()?;
+        let p_server = self.server_of(primary);
+        let at_primary = self
+            .topology
+            .client_to_server(now, p_server, data.len() as u64);
+        let p_fin = self.osds[primary as usize]
+            .write_object_at(at_primary, oid, offset, data, random)
+            .expect("primary is healthy");
+        let mut commit = p_fin;
+        for &rep in healthy.iter().skip(1) {
+            let r_server = self.server_of(rep);
+            let arrive = if r_server == p_server {
+                at_primary + ACK_SAME_SERVER
+            } else {
+                // Cut-through: the forward streams on the cluster network
+                // overlapped with the client transfer.
+                self.topology
+                    .server_to_server(now + CUT_THROUGH, p_server, r_server, data.len() as u64)
+                    .max(at_primary)
+            };
+            let r_fin = self.osds[rep as usize]
+                .write_object_at(arrive, oid, offset, data, random)
+                .expect("replica is healthy");
+            let ack = if r_server == p_server {
+                r_fin + ACK_SAME_SERVER
+            } else {
+                r_fin + ACK_CROSS_SERVER
+            };
+            commit = commit.max(ack);
+        }
+        let done = self
+            .topology
+            .server_to_client(commit, p_server, CONTROL_BYTES);
+        self.replica_dir.insert(oid, healthy.clone());
+        Some(IoOutcome {
+            complete: done,
+            bytes: data.len() as u64,
+            degraded: healthy.len() < size,
+        })
+    }
+
+    /// Replicated read of `len` bytes at `offset`.  Serves from the
+    /// primary, falling back to any surviving copy (degraded read).
+    /// Reads of never-written extents return zeros with normal timing
+    /// (RBD sparse semantics).
+    pub fn read_replicated(
+        &mut self,
+        now: SimTime,
+        oid: ObjectId,
+        offset: usize,
+        len: usize,
+        random: bool,
+    ) -> Option<(Bytes, IoOutcome)> {
+        let pool = self.pool(oid.pool).clone();
+        let acting = self.map.acting_set(pool.pg_of(oid));
+        let written = self.replica_dir.contains_key(&oid);
+        // Candidates: current acting set first, then the write-time copy
+        // holders (covers not-yet-recovered remaps).
+        let mut candidates = acting;
+        if let Some(writers) = self.replica_dir.get(&oid) {
+            for &w in writers {
+                if !candidates.contains(&w) {
+                    candidates.push(w);
+                }
+            }
+        }
+        let mut degraded = false;
+        for (rank, osd) in candidates.iter().copied().enumerate() {
+            if !self.osds[osd as usize].is_up() {
+                degraded = true;
+                continue;
+            }
+            if written && self.osds[osd as usize].store().version(oid).is_none() {
+                // Copy not present here (remapped but not recovered).
+                degraded = true;
+                continue;
+            }
+            // For never-written objects the primary serves zeros (RBD
+            // sparse read) with ordinary media timing.
+            let server = self.server_of(osd);
+            let at_osd = self.topology.client_to_server(now, server, CONTROL_BYTES);
+            let (data, fin) = self.osds[osd as usize]
+                .read_object_at(at_osd, oid, offset, len, random)
+                .expect("checked up");
+            let done = self.topology.server_to_client(fin, server, len as u64);
+            return Some((
+                data,
+                IoOutcome {
+                    complete: done,
+                    bytes: len as u64,
+                    degraded: written && (degraded || rank > 0),
+                },
+            ));
+        }
+        None
+    }
+
+    /// EC sparse read: the object was never written, so the client
+    /// probes the acting set and zero-fills — charged as `k` short
+    /// control round trips plus media checks, matching the ENOENT fast
+    /// path.
+    pub fn read_ec_sparse(
+        &mut self,
+        now: SimTime,
+        oid: ObjectId,
+        len: usize,
+        random: bool,
+    ) -> Option<(Bytes, IoOutcome)> {
+        let pool = self.pool(oid.pool).clone();
+        let PoolKind::Erasure { k, .. } = pool.kind else {
+            panic!("read_ec_sparse on a non-EC pool");
+        };
+        let acting = self.map.acting_set(pool.pg_of(oid));
+        let shard_len = len.div_ceil(k);
+        let mut commit = now;
+        let mut fetched = 0;
+        for &osd in &acting {
+            if fetched >= k {
+                break;
+            }
+            if !self.osds[osd as usize].is_up() {
+                continue;
+            }
+            let server = self.server_of(osd);
+            let at_osd = self.topology.client_to_server(now, server, CONTROL_BYTES);
+            let (_, fin) = self.osds[osd as usize]
+                .read_object_at(at_osd, oid, 0, shard_len, random)
+                .expect("checked up");
+            let done = self
+                .topology
+                .server_to_client(fin, server, shard_len as u64);
+            commit = commit.max(done);
+            fetched += 1;
+        }
+        if fetched < k {
+            return None;
+        }
+        Some((
+            Bytes::from(vec![0u8; len]),
+            IoOutcome {
+                complete: commit,
+                bytes: len as u64,
+                degraded: false,
+            },
+        ))
+    }
+
+    /// Has an EC object been written (shards recorded)?
+    pub fn ec_object_exists(&self, oid: ObjectId) -> bool {
+        self.shard_dir.contains_key(&oid)
+    }
+
+    /// EC write: the caller (the DeLiBA client — in hardware, the RS
+    /// accelerator) provides the `k + m` shards; the cluster fans them
+    /// out to the acting set.  Succeeds while at least `k` shards land.
+    pub fn write_ec_shards(
+        &mut self,
+        now: SimTime,
+        oid: ObjectId,
+        original_len: usize,
+        shards: Vec<Vec<u8>>,
+        random: bool,
+    ) -> Option<IoOutcome> {
+        let pool = self.pool(oid.pool).clone();
+        let PoolKind::Erasure { k, m } = pool.kind else {
+            panic!("write_ec_shards on a non-EC pool");
+        };
+        assert_eq!(shards.len(), k + m, "wrong shard count");
+        let acting = self.map.acting_set(pool.pg_of(oid));
+        let mut placed: Vec<(i32, usize)> = Vec::new();
+        let mut commit = now;
+        let mut written = 0usize;
+        for (idx, shard) in shards.into_iter().enumerate() {
+            let Some(&osd) = acting.get(idx) else {
+                continue;
+            };
+            if !self.osds[osd as usize].is_up() {
+                continue;
+            }
+            let server = self.server_of(osd);
+            let arrive = self
+                .topology
+                .client_to_server(now, server, shard.len() as u64);
+            let fin = self.osds[osd as usize]
+                .write_object(arrive, oid, Bytes::from(shard), random)
+                .expect("checked up");
+            let ack = self.topology.server_to_client(fin, server, CONTROL_BYTES);
+            commit = commit.max(ack);
+            placed.push((osd, idx));
+            written += 1;
+        }
+        if written < k {
+            return None; // insufficient durability — op fails
+        }
+        let degraded = written < k + m;
+        self.shard_dir.insert(oid, (original_len, placed));
+        Some(IoOutcome {
+            complete: commit,
+            bytes: original_len as u64,
+            degraded,
+        })
+    }
+
+    /// EC read: gather any `k` shards and reconstruct the object.
+    /// Returns the full object payload.
+    pub fn read_ec(
+        &mut self,
+        now: SimTime,
+        oid: ObjectId,
+        random: bool,
+    ) -> Option<(Bytes, IoOutcome)> {
+        let pool = self.pool(oid.pool).clone();
+        let PoolKind::Erasure { k, m } = pool.kind else {
+            panic!("read_ec on a non-EC pool");
+        };
+        let (original_len, placed) = self.shard_dir.get(&oid)?.clone();
+        let mut slots: Vec<Option<Vec<u8>>> = vec![None; k + m];
+        let mut commit = now;
+        let mut fetched = 0usize;
+        let mut skipped_any = false;
+        for (osd, idx) in placed {
+            if fetched >= k {
+                break;
+            }
+            if !self.osds[osd as usize].is_up() {
+                skipped_any = true;
+                continue;
+            }
+            let server = self.server_of(osd);
+            let Some(shard_len) = self.osds[osd as usize].store().peek_len(oid) else {
+                skipped_any = true;
+                continue;
+            };
+            let at_osd = self.topology.client_to_server(now, server, CONTROL_BYTES);
+            let (data, fin) = self.osds[osd as usize]
+                .read_object_at(at_osd, oid, 0, shard_len, random)
+                .expect("checked up");
+            let done = self
+                .topology
+                .server_to_client(fin, server, data.len() as u64);
+            commit = commit.max(done);
+            slots[idx] = Some(data.to_vec());
+            fetched += 1;
+        }
+        if fetched < k {
+            return None;
+        }
+        let rs = ReedSolomon::new(k, m);
+        rs.reconstruct(&mut slots).ok()?;
+        let payload = rs.join(&slots, original_len);
+        Some((
+            Bytes::from(payload),
+            IoOutcome {
+                complete: commit,
+                bytes: original_len as u64,
+                degraded: skipped_any,
+            },
+        ))
+    }
+
+    /// Deep scrub of a pool: byte-compare every replicated copy, and for
+    /// EC objects re-encode the data shards and compare the stored
+    /// parity.
+    pub fn scrub(&mut self, pool_id: u32) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        let pool = self.pool(pool_id).clone();
+        match pool.kind {
+            PoolKind::Replicated { .. } => {
+                let entries: Vec<(ObjectId, Vec<i32>)> = self
+                    .replica_dir
+                    .iter()
+                    .filter(|(oid, _)| oid.pool == pool_id)
+                    .map(|(o, v)| (*o, v.clone()))
+                    .collect();
+                for (oid, holders) in entries {
+                    report.objects += 1;
+                    let mut reference: Option<Bytes> = None;
+                    for osd in holders {
+                        if let Some(data) =
+                            self.osds[osd as usize].store_mut().read(oid)
+                        {
+                            report.copies += 1;
+                            match &reference {
+                                None => reference = Some(data),
+                                Some(r) => {
+                                    if *r != data {
+                                        report.inconsistencies += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            PoolKind::Erasure { k, m } => {
+                let rs = ReedSolomon::new(k, m);
+                let entries: Vec<(ObjectId, Vec<(i32, usize)>)> = self
+                    .shard_dir
+                    .iter()
+                    .filter(|(oid, _)| oid.pool == pool_id)
+                    .map(|(o, (_, v))| (*o, v.clone()))
+                    .collect();
+                for (oid, placed) in entries {
+                    report.objects += 1;
+                    let mut slots: Vec<Option<Vec<u8>>> = vec![None; k + m];
+                    for (osd, idx) in &placed {
+                        if let Some(d) = self.osds[*osd as usize].store_mut().read(oid) {
+                            report.copies += 1;
+                            slots[*idx] = Some(d.to_vec());
+                        }
+                    }
+                    // Need all data shards to re-encode parity.
+                    if slots.iter().take(k).all(|s| s.is_some()) {
+                        let data_shards: Vec<Vec<u8>> =
+                            (0..k).map(|i| slots[i].clone().unwrap()).collect();
+                        let parity = rs.encode_parity(&data_shards);
+                        for (pi, p) in parity.iter().enumerate() {
+                            if let Some(stored) = &slots[k + pi] {
+                                if stored != p {
+                                    report.inconsistencies += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// Max and mean OSD utilization over `[0, horizon]` — bottleneck
+    /// diagnosis for saturation runs.
+    pub fn osd_utilization(&self, horizon: deliba_sim::SimTime) -> (f64, f64) {
+        let utils: Vec<f64> = self.osds.iter().map(|o| o.utilization(horizon)).collect();
+        let max = utils.iter().cloned().fold(0.0, f64::max);
+        let mean = utils.iter().sum::<f64>() / utils.len() as f64;
+        (max, mean)
+    }
+
+    /// Per-OSD op counts (load-balance diagnosis).
+    pub fn osd_ops(&self) -> Vec<u64> {
+        self.osds.iter().map(|o| o.ops_served()).collect()
+    }
+
+    /// Repair pass after a scrub: for replicated pools, rewrite divergent
+    /// copies from the majority version (primary breaks ties — Ceph's
+    /// "authoritative copy"); for EC pools, recompute parity from the
+    /// data shards and rewrite mismatches.  Returns copies rewritten.
+    pub fn repair(&mut self, pool_id: u32) -> u64 {
+        let pool = self.pool(pool_id).clone();
+        let mut fixed = 0;
+        match pool.kind {
+            PoolKind::Replicated { .. } => {
+                let entries: Vec<(ObjectId, Vec<i32>)> = self
+                    .replica_dir
+                    .iter()
+                    .filter(|(oid, _)| oid.pool == pool_id)
+                    .map(|(o, v)| (*o, v.clone()))
+                    .collect();
+                for (oid, holders) in entries {
+                    let mut copies: Vec<(i32, Bytes)> = Vec::new();
+                    for &osd in &holders {
+                        if let Some(d) = self.osds[osd as usize].store_mut().read(oid) {
+                            copies.push((osd, d));
+                        }
+                    }
+                    if copies.len() < 2 {
+                        continue;
+                    }
+                    // Majority vote; ties go to the first holder (the
+                    // write-time primary).
+                    let mut best: Option<(&Bytes, usize)> = None;
+                    for (_, d) in &copies {
+                        let votes = copies.iter().filter(|(_, x)| x == d).count();
+                        if best.map(|(_, v)| votes > v).unwrap_or(true) {
+                            best = Some((d, votes));
+                        }
+                    }
+                    let authoritative = best.expect("non-empty").0.clone();
+                    for (osd, d) in copies {
+                        if d != authoritative {
+                            self.osds[osd as usize]
+                                .store_mut()
+                                .write(oid, authoritative.clone());
+                            fixed += 1;
+                        }
+                    }
+                }
+            }
+            PoolKind::Erasure { k, m } => {
+                let rs = ReedSolomon::new(k, m);
+                let entries: Vec<(ObjectId, Vec<(i32, usize)>)> = self
+                    .shard_dir
+                    .iter()
+                    .filter(|(oid, _)| oid.pool == pool_id)
+                    .map(|(o, (_, v))| (*o, v.clone()))
+                    .collect();
+                for (oid, placed) in entries {
+                    let mut slots: Vec<Option<Vec<u8>>> = vec![None; k + m];
+                    let mut holders: Vec<Option<i32>> = vec![None; k + m];
+                    for &(osd, idx) in &placed {
+                        if let Some(d) = self.osds[osd as usize].store_mut().read(oid) {
+                            slots[idx] = Some(d.to_vec());
+                            holders[idx] = Some(osd);
+                        }
+                    }
+                    if !(0..k).all(|i| slots[i].is_some()) {
+                        continue; // data shards missing → recovery's job
+                    }
+                    let data_shards: Vec<Vec<u8>> =
+                        (0..k).map(|i| slots[i].clone().unwrap()).collect();
+                    let parity = rs.encode_parity(&data_shards);
+                    for (pi, p) in parity.into_iter().enumerate() {
+                        if let (Some(stored), Some(osd)) = (&slots[k + pi], holders[k + pi]) {
+                            if stored != &p {
+                                self.osds[osd as usize]
+                                    .store_mut()
+                                    .write(oid, Bytes::from(p));
+                                fixed += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        fixed
+    }
+
+    /// Corrupt one stored copy (test hook for scrub).
+    pub fn corrupt_object(&mut self, osd: i32, oid: ObjectId) -> bool {
+        let store = self.osds[osd as usize].store_mut();
+        if let Some(data) = store.read(oid) {
+            let mut v = data.to_vec();
+            if v.is_empty() {
+                v.push(0xFF);
+            } else {
+                v[0] ^= 0xFF;
+            }
+            store.write(oid, Bytes::from(v));
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid_rep(name: u64) -> ObjectId {
+        ObjectId::new(1, name)
+    }
+    fn oid_ec(name: u64) -> ObjectId {
+        ObjectId::new(2, name)
+    }
+
+    fn payload(len: usize, tag: u8) -> Bytes {
+        Bytes::from((0..len).map(|i| (i as u8).wrapping_add(tag)).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn replicated_write_read_integrity() {
+        let mut c = Cluster::paper_testbed(1);
+        let data = payload(4096, 3);
+        let w = c
+            .write_replicated(SimTime::ZERO, oid_rep(1), data.clone(), true)
+            .unwrap();
+        assert!(!w.degraded);
+        assert!(w.complete.as_nanos() > 0);
+        let (read, r) = c
+            .read_replicated(w.complete, oid_rep(1), 0, 4096, true)
+            .unwrap();
+        assert_eq!(read, data);
+        assert!(!r.degraded);
+        assert!(r.complete > w.complete);
+    }
+
+    #[test]
+    fn replication_stores_three_copies() {
+        let mut c = Cluster::paper_testbed(2);
+        c.write_replicated(SimTime::ZERO, oid_rep(5), payload(1024, 1), true)
+            .unwrap();
+        let holders = c.replica_dir.get(&oid_rep(5)).unwrap().clone();
+        assert_eq!(holders.len(), 3);
+        for osd in holders {
+            assert!(c.osds[osd as usize].store().version(oid_rep(5)).is_some());
+        }
+    }
+
+    #[test]
+    fn write_latency_scales_with_size() {
+        let mut c = Cluster::paper_testbed(3);
+        let small = c
+            .write_replicated(SimTime::ZERO, oid_rep(1), payload(4096, 0), true)
+            .unwrap();
+        let mut c2 = Cluster::paper_testbed(3);
+        let large = c2
+            .write_replicated(SimTime::ZERO, oid_rep(1), payload(128 * 1024, 0), true)
+            .unwrap();
+        assert!(large.complete > small.complete);
+    }
+
+    #[test]
+    fn degraded_read_after_primary_failure() {
+        let mut c = Cluster::paper_testbed(4);
+        let data = payload(8192, 9);
+        let w = c
+            .write_replicated(SimTime::ZERO, oid_rep(9), data.clone(), true)
+            .unwrap();
+        let primary = c.replica_dir.get(&oid_rep(9)).unwrap()[0];
+        c.fail_osd(primary);
+        let (read, r) = c
+            .read_replicated(w.complete, oid_rep(9), 0, 8192, true)
+            .unwrap();
+        assert_eq!(read, data, "degraded read returns correct data");
+        assert!(r.degraded);
+    }
+
+    #[test]
+    fn degraded_write_with_failed_replica() {
+        let mut c = Cluster::paper_testbed(5);
+        // Fail one replica of the target PG before writing.
+        let pool = c.map.pool(1).unwrap().clone();
+        let acting = c.map.acting_set(pool.pg_of(oid_rep(77)));
+        c.osds[acting[1] as usize].set_up(false); // daemon dead, map not yet updated
+        let w = c
+            .write_replicated(SimTime::ZERO, oid_rep(77), payload(4096, 2), true)
+            .unwrap();
+        assert!(w.degraded, "write proceeded with 2/3 copies");
+        let (read, _) = c
+            .read_replicated(w.complete, oid_rep(77), 0, 4096, true)
+            .unwrap();
+        assert_eq!(read, payload(4096, 2));
+    }
+
+    #[test]
+    fn ec_write_read_round_trip() {
+        let mut c = Cluster::paper_testbed(6);
+        let data = payload(16 * 1024, 4);
+        let rs = ReedSolomon::new(4, 2);
+        let shards = rs.encode(&data);
+        let w = c
+            .write_ec_shards(SimTime::ZERO, oid_ec(1), data.len(), shards, true)
+            .unwrap();
+        assert!(!w.degraded);
+        let (read, r) = c.read_ec(w.complete, oid_ec(1), true).unwrap();
+        assert_eq!(read, data);
+        assert!(!r.degraded);
+    }
+
+    #[test]
+    fn ec_survives_two_failures() {
+        let mut c = Cluster::paper_testbed(7);
+        let data = payload(16 * 1024, 5);
+        let shards = ReedSolomon::new(4, 2).encode(&data);
+        let w = c
+            .write_ec_shards(SimTime::ZERO, oid_ec(2), data.len(), shards, true)
+            .unwrap();
+        let placed = c.shard_dir.get(&oid_ec(2)).unwrap().1.clone();
+        // Kill two shard holders.
+        c.fail_osd(placed[0].0);
+        c.fail_osd(placed[3].0);
+        let (read, r) = c.read_ec(w.complete, oid_ec(2), true).unwrap();
+        assert_eq!(read, data, "reconstruction recovers the object");
+        assert!(r.degraded);
+        // A third failure makes it unreadable.
+        c.fail_osd(placed[1].0);
+        assert!(c.read_ec(w.complete, oid_ec(2), true).is_none());
+    }
+
+    #[test]
+    fn ec_write_fails_below_k() {
+        let mut c = Cluster::paper_testbed(8);
+        let data = payload(4096, 1);
+        let shards = ReedSolomon::new(4, 2).encode(&data);
+        let pool = c.map.pool(2).unwrap().clone();
+        let acting = c.map.acting_set(pool.pg_of(oid_ec(3)));
+        for &osd in acting.iter().take(3) {
+            c.osds[osd as usize].set_up(false);
+        }
+        assert!(c
+            .write_ec_shards(SimTime::ZERO, oid_ec(3), data.len(), shards, true)
+            .is_none());
+    }
+
+    #[test]
+    fn ec_moves_less_client_data_than_replication() {
+        // Replication ships 1× data client→cluster plus 2× server-side;
+        // EC ships 1.5× client→cluster.  Check the client TX accounting.
+        let data_len = 64 * 1024;
+        let mut rep = Cluster::paper_testbed(9);
+        rep.write_replicated(SimTime::ZERO, oid_rep(1), payload(data_len, 0), false)
+            .unwrap();
+        let mut ec = Cluster::paper_testbed(9);
+        let shards = ReedSolomon::new(4, 2).encode(&payload(data_len, 0));
+        ec.write_ec_shards(SimTime::ZERO, oid_ec(1), data_len, shards, false)
+            .unwrap();
+        // EC client traffic ≈ 1.5×, replication ≈ 1× — EC write moves
+        // *more* through the client port.
+        // (Informational shape check via completion times is too noisy;
+        // assert on the directory contents instead.)
+        assert_eq!(ec.shard_dir.get(&oid_ec(1)).unwrap().1.len(), 6);
+        assert_eq!(rep.replica_dir.get(&oid_rep(1)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn scrub_clean_and_corrupted() {
+        let mut c = Cluster::paper_testbed(10);
+        for i in 0..10 {
+            c.write_replicated(SimTime::ZERO, oid_rep(i), payload(2048, i as u8), true)
+                .unwrap();
+        }
+        let clean = c.scrub(1);
+        assert_eq!(clean.objects, 10);
+        assert_eq!(clean.copies, 30);
+        assert_eq!(clean.inconsistencies, 0);
+
+        let victim_holders = c.replica_dir.get(&oid_rep(4)).unwrap().clone();
+        assert!(c.corrupt_object(victim_holders[1], oid_rep(4)));
+        let dirty = c.scrub(1);
+        assert_eq!(dirty.inconsistencies, 1);
+    }
+
+    #[test]
+    fn scrub_ec_parity() {
+        let mut c = Cluster::paper_testbed(11);
+        let data = payload(8192, 7);
+        let shards = ReedSolomon::new(4, 2).encode(&data);
+        c.write_ec_shards(SimTime::ZERO, oid_ec(5), data.len(), shards, true)
+            .unwrap();
+        assert_eq!(c.scrub(2).inconsistencies, 0);
+        // Corrupt a parity shard.
+        let placed = c.shard_dir.get(&oid_ec(5)).unwrap().1.clone();
+        let parity_holder = placed.iter().find(|&&(_, idx)| idx >= 4).unwrap().0;
+        c.corrupt_object(parity_holder, oid_ec(5));
+        assert_eq!(c.scrub(2).inconsistencies, 1);
+    }
+
+    #[test]
+    fn concurrent_writes_queue_on_network() {
+        let mut c = Cluster::paper_testbed(12);
+        let mut completions = Vec::new();
+        for i in 0..16 {
+            let w = c
+                .write_replicated(SimTime::ZERO, oid_rep(100 + i), payload(128 * 1024, 0), false)
+                .unwrap();
+            completions.push(w.complete);
+        }
+        // Later submissions finish later: client port serialization.
+        assert!(completions.windows(2).any(|w| w[1] > w[0]));
+        let span = completions.iter().max().unwrap().as_nanos()
+            - completions.iter().min().unwrap().as_nanos();
+        assert!(span > 100_000, "16×128 KiB must spread out on a 10G port");
+    }
+}

@@ -1,0 +1,171 @@
+//! The OSDMap: cluster map epochs, CRUSH, pool table and OSD states.
+
+use crate::pool::{PgId, PoolConfig};
+use deliba_crush::{CrushMap, DeviceId};
+use std::collections::BTreeMap;
+
+/// The authoritative cluster map (what Ceph monitors distribute).
+#[derive(Debug, Clone)]
+pub struct OsdMap {
+    /// Map epoch, bumped on every mutation.
+    pub epoch: u64,
+    crush: CrushMap,
+    pools: BTreeMap<u32, PoolConfig>,
+}
+
+impl OsdMap {
+    /// Wrap a CRUSH map at epoch 1.
+    pub fn new(crush: CrushMap) -> Self {
+        OsdMap {
+            epoch: 1,
+            crush,
+            pools: BTreeMap::new(),
+        }
+    }
+
+    /// The CRUSH map.
+    pub fn crush(&self) -> &CrushMap {
+        &self.crush
+    }
+
+    /// Register a pool.
+    pub fn add_pool(&mut self, pool: PoolConfig) {
+        self.pools.insert(pool.id, pool);
+        self.epoch += 1;
+    }
+
+    /// Look up a pool.
+    pub fn pool(&self, id: u32) -> Option<&PoolConfig> {
+        self.pools.get(&id)
+    }
+
+    /// All pool ids.
+    pub fn pool_ids(&self) -> Vec<u32> {
+        self.pools.keys().copied().collect()
+    }
+
+    /// Mark an OSD down/out: placement immediately avoids it.
+    pub fn mark_osd_down(&mut self, osd: DeviceId) {
+        self.crush.mark_out(osd);
+        self.epoch += 1;
+    }
+
+    /// Return an OSD to service.
+    pub fn mark_osd_up(&mut self, osd: DeviceId) {
+        self.crush.mark_in(osd);
+        self.epoch += 1;
+    }
+
+    /// Is the OSD out?
+    pub fn is_osd_down(&self, osd: DeviceId) -> bool {
+        self.crush.is_out(osd)
+    }
+
+    /// The acting set of a PG: the OSDs serving it, primary first.
+    pub fn acting_set(&self, pg: PgId) -> Vec<DeviceId> {
+        let Some(pool) = self.pools.get(&pg.pool) else {
+            return Vec::new();
+        };
+        let seed = pool.pg_seed(pg);
+        self.crush
+            .do_rule(pool.crush_rule, seed, pool.kind.width())
+    }
+
+    /// Primary OSD of a PG.
+    pub fn primary(&self, pg: PgId) -> Option<DeviceId> {
+        self.acting_set(pg).first().copied()
+    }
+
+    /// Total devices in the map.
+    pub fn num_osds(&self) -> usize {
+        self.crush.num_devices()
+    }
+
+    /// Fraction of PGs of `pool` whose acting set changed between this
+    /// map and `other` — the rebalance measure DFX reacts to.
+    pub fn remapped_fraction(&self, other: &OsdMap, pool: u32) -> f64 {
+        let Some(p) = self.pools.get(&pool) else {
+            return 0.0;
+        };
+        let total = p.pg_num;
+        let mut moved = 0;
+        for seq in 0..total {
+            let pg = PgId { pool, seq };
+            if self.acting_set(pg) != other.acting_set(pg) {
+                moved += 1;
+            }
+        }
+        moved as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deliba_crush::MapBuilder;
+
+    fn map() -> OsdMap {
+        let mut m = OsdMap::new(MapBuilder::new().build(8, 4));
+        m.add_pool(PoolConfig::replicated(1, "rbd", 3, 128, 0));
+        m.add_pool(PoolConfig::erasure(2, "ec", 4, 2, 128, 1));
+        m
+    }
+
+    #[test]
+    fn epochs_bump_on_mutation() {
+        let mut m = map();
+        let e = m.epoch;
+        m.mark_osd_down(3);
+        assert_eq!(m.epoch, e + 1);
+        m.mark_osd_up(3);
+        assert_eq!(m.epoch, e + 2);
+    }
+
+    #[test]
+    fn acting_sets_match_pool_width() {
+        let m = map();
+        for seq in 0..128 {
+            let rep = m.acting_set(PgId { pool: 1, seq });
+            assert_eq!(rep.len(), 3, "pg {seq}");
+            let ec = m.acting_set(PgId { pool: 2, seq });
+            assert_eq!(ec.len(), 6, "pg {seq}");
+        }
+    }
+
+    #[test]
+    fn primary_is_first() {
+        let m = map();
+        let pg = PgId { pool: 1, seq: 5 };
+        assert_eq!(m.primary(pg), Some(m.acting_set(pg)[0]));
+    }
+
+    #[test]
+    fn down_osd_leaves_acting_sets() {
+        let mut m = map();
+        let victim = m.primary(PgId { pool: 1, seq: 0 }).unwrap();
+        m.mark_osd_down(victim);
+        for seq in 0..128 {
+            let set = m.acting_set(PgId { pool: 1, seq });
+            assert!(!set.contains(&victim), "pg {seq}");
+        }
+        assert!(m.is_osd_down(victim));
+    }
+
+    #[test]
+    fn failure_remaps_bounded_fraction() {
+        let before = map();
+        let mut after = before.clone();
+        after.mark_osd_down(7);
+        let frac = before.remapped_fraction(&after, 1);
+        // osd.7 holds ~3/32 of PG positions; remapped PGs ≈ 9 %.
+        assert!(frac > 0.02, "{frac}");
+        assert!(frac < 0.25, "{frac}");
+    }
+
+    #[test]
+    fn unknown_pool_is_empty() {
+        let m = map();
+        assert!(m.acting_set(PgId { pool: 9, seq: 0 }).is_empty());
+        assert_eq!(m.remapped_fraction(&m.clone(), 9), 0.0);
+    }
+}

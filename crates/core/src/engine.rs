@@ -1,0 +1,718 @@
+//! The closed-loop end-to-end engine.
+//!
+//! An [`Engine`] couples a framework generation (host path) to the
+//! simulated testbed (FPGA card, PCIe, 10 GbE, the 32-OSD cluster) and
+//! runs fio-style job specifications against an RBD image on virtual
+//! time, producing the latency / throughput / IOPS numbers of the
+//! paper's figures.
+//!
+//! Closed-loop semantics match fio: each of `numjobs` jobs keeps
+//! `iodepth` I/Os outstanding; a completion immediately issues the next
+//! I/O.  DeLiBA-1/-2 have an additional architectural serialization
+//! point — the synchronous NBD daemon holds each request for its full
+//! round trip (§III: the user-space library structure that io_uring
+//! removes); DeLiBA-K's three pinned io_uring instances pipeline
+//! independently.
+
+use crate::calib;
+use crate::generation::PathFeatures;
+use crate::hostpath::host_costs;
+use crate::report::RunReport;
+use crate::Generation;
+use bytes::Bytes;
+use deliba_cluster::{Cluster, ObjectId, RbdImage};
+use deliba_fpga::accel::HLS_LATENCY_INFLATION;
+use deliba_fpga::{AlveoU280, RmId};
+use deliba_net::{TcpStack, TcpStackKind};
+use deliba_sim::{
+    Bandwidth, Counter, Histogram, Server, SimDuration, SimRng, SimTime, Xoshiro256,
+};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Pool / durability mode under test (every figure reports both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Replicated pool (size 3).
+    Replication,
+    /// Erasure-coded pool (k 4, m 2).
+    ErasureCoding,
+}
+
+impl Mode {
+    /// Label used in figure titles.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Replication => "replication",
+            Mode::ErasureCoding => "erasure-coding",
+        }
+    }
+}
+
+/// Access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Sequential within each job's region.
+    Seq,
+    /// Uniform random over the image.
+    Rand,
+}
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RwMode {
+    /// 100 % reads.
+    Read,
+    /// 100 % writes.
+    Write,
+}
+
+/// A fio-style job specification.
+#[derive(Debug, Clone, Copy)]
+pub struct FioSpec {
+    /// Read or write.
+    pub rw: RwMode,
+    /// Sequential or random.
+    pub pattern: Pattern,
+    /// Block size in bytes.
+    pub block_size: u32,
+    /// Outstanding I/Os per job.
+    pub iodepth: u32,
+    /// Parallel jobs.
+    pub numjobs: u32,
+    /// Total operations across all jobs.
+    pub ops: u64,
+}
+
+impl FioSpec {
+    /// The paper's measurement shape: random workloads run 3 jobs (one
+    /// per io_uring instance), sequential streams run 1; queue depth 32.
+    pub fn paper(rw: RwMode, pattern: Pattern, block_size: u32, ops: u64) -> Self {
+        let numjobs = match pattern {
+            Pattern::Rand => 3,
+            Pattern::Seq => 1,
+        };
+        FioSpec {
+            rw,
+            pattern,
+            block_size,
+            iodepth: 32,
+            numjobs,
+            ops,
+        }
+    }
+
+    /// A queue-depth-1 latency probe (Table II methodology).
+    pub fn latency_probe(rw: RwMode, pattern: Pattern, block_size: u32, ops: u64) -> Self {
+        FioSpec {
+            rw,
+            pattern,
+            block_size,
+            iodepth: 1,
+            numjobs: 1,
+            ops,
+        }
+    }
+
+    /// fio-style label, e.g. `"rand-write 4k"`.
+    pub fn label(&self) -> String {
+        let pat = match self.pattern {
+            Pattern::Seq => "seq",
+            Pattern::Rand => "rand",
+        };
+        let rw = match self.rw {
+            RwMode::Read => "read",
+            RwMode::Write => "write",
+        };
+        format!("{pat}-{rw} {}k", self.block_size / 1024)
+    }
+}
+
+/// One operation of a trace (used by the OLAP/OLTP replayers).
+#[derive(Debug, Clone, Copy)]
+pub struct TraceOp {
+    /// Write (true) or read.
+    pub write: bool,
+    /// Byte offset on the virtual disk (block aligned).
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u32,
+    /// Random access (charges the OSD seek penalty)?
+    pub random: bool,
+    /// Application compute time before this op is issued (ns) — models
+    /// the non-I/O fraction of OLAP/OLTP work (zero for fio workloads).
+    pub think_ns: u64,
+}
+
+impl TraceOp {
+    /// A read op with no think time.
+    pub fn read(offset: u64, len: u32, random: bool) -> Self {
+        TraceOp { write: false, offset, len, random, think_ns: 0 }
+    }
+
+    /// A write op with no think time.
+    pub fn write(offset: u64, len: u32, random: bool) -> Self {
+        TraceOp { write: true, offset, len, random, think_ns: 0 }
+    }
+
+    /// Attach application think time.
+    pub fn with_think(mut self, think_ns: u64) -> Self {
+        self.think_ns = think_ns;
+        self
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Framework generation.
+    pub generation: Generation,
+    /// Hardware acceleration on (false = software baseline, §III-C).
+    pub fpga: bool,
+    /// Pool mode.
+    pub mode: Mode,
+    /// Preferred DFX reconfigurable module for placement (None routes
+    /// everything through the static Straw2 kernel).
+    pub preferred_rm: Option<RmId>,
+    /// Host-path feature set (defaults to the generation's preset; the
+    /// ablation experiments override individual knobs).
+    pub features: PathFeatures,
+    /// Jumbo (9000 B MTU) Ethernet framing instead of standard 1500 B
+    /// (§IV-B supports both).
+    pub jumbo_frames: bool,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// Shorthand constructor.
+    pub fn new(generation: Generation, fpga: bool, mode: Mode) -> Self {
+        EngineConfig {
+            generation,
+            fpga,
+            mode,
+            preferred_rm: None,
+            features: generation.features(),
+            jumbo_frames: false,
+            seed: 42,
+        }
+    }
+
+    /// Label like `"DeLiBA-K (HW, replication)"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{} ({}, {})",
+            self.generation.label(),
+            if self.fpga { "HW" } else { "SW" },
+            self.mode.label()
+        )
+    }
+}
+
+/// Image size the benchmarks address (1 GiB working set).
+pub const IMAGE_BYTES: u64 = 1 << 30;
+
+/// The end-to-end engine.
+pub struct Engine {
+    cfg: EngineConfig,
+    cluster: Cluster,
+    card: Option<AlveoU280>,
+    /// One server per submission context (3 io_uring cores or 1 NBD
+    /// daemon).
+    contexts: Vec<Server>,
+    /// PCIe is full duplex: independent host→card and card→host pipes.
+    pcie_h2c: Bandwidth,
+    pcie_c2h: Bandwidth,
+    image: RbdImage,
+    rng: Xoshiro256,
+    /// Checksums of written blocks for integrity verification.
+    written: BTreeMap<(u64, u32), u64>,
+    verify_failures: u64,
+    degraded_ops: u64,
+}
+
+impl Engine {
+    /// Build an engine over the paper's testbed.
+    pub fn new(cfg: EngineConfig) -> Self {
+        let frames = if cfg.jumbo_frames {
+            deliba_net::FrameConfig::jumbo()
+        } else {
+            deliba_net::FrameConfig::standard()
+        };
+        let cluster = Cluster::paper_testbed_with_frames(cfg.seed, frames);
+        let card = cfg.fpga.then(AlveoU280::deliba_k_default);
+        let contexts = (0..cfg.features.contexts.max(1))
+            .map(|_| Server::new())
+            .collect();
+        let pool = match cfg.mode {
+            Mode::Replication => 1,
+            Mode::ErasureCoding => 2,
+        };
+        Engine {
+            cfg,
+            cluster,
+            card,
+            contexts,
+            pcie_h2c: Bandwidth::new(calib::PCIE_GBYTES_PER_SEC * 1e9, SimDuration::ZERO),
+            pcie_c2h: Bandwidth::new(calib::PCIE_GBYTES_PER_SEC * 1e9, SimDuration::ZERO),
+            image: RbdImage::new(pool, 0xD3B5, IMAGE_BYTES),
+            rng: Xoshiro256::seed_from_u64(cfg.seed ^ 0xFEED),
+            written: BTreeMap::new(),
+            verify_failures: 0,
+            degraded_ops: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Direct cluster access (failure injection in experiments).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// Direct card access (DFX experiments); `None` for software
+    /// baselines.
+    pub fn card_mut(&mut self) -> Option<&mut AlveoU280> {
+        self.card.as_mut()
+    }
+
+    /// Re-point placement at a different reconfigurable module (after a
+    /// DFX swap completes).
+    pub fn set_preferred_rm(&mut self, rm: Option<RmId>) {
+        self.cfg.preferred_rm = rm;
+    }
+
+    /// Data-integrity check failures observed (must stay 0).
+    pub fn verify_failures(&self) -> u64 {
+        self.verify_failures
+    }
+
+    /// Resource utilization snapshot over `[0, horizon]` — identifies the
+    /// bottleneck of a run (submission contexts, PCIe, client port).
+    pub fn utilization(&self, horizon: SimTime) -> String {
+        let ctx: Vec<String> = self
+            .contexts
+            .iter()
+            .map(|c| format!("{:.2}", c.utilization(horizon)))
+            .collect();
+        format!(
+            "ctx [{}] pcie {:.2} client_tx {:.2}",
+            ctx.join(" "),
+            self.pcie_h2c.utilization(horizon).max(self.pcie_c2h.utilization(horizon)),
+            self.cluster.topology().client_tx_utilization(horizon),
+        )
+    }
+
+    fn checksum(data: &[u8]) -> u64 {
+        // FNV-1a — cheap, deterministic.
+        let mut h = 0xcbf29ce484222325u64;
+        for &b in data {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    fn payload_for(&mut self, len: usize) -> Bytes {
+        let mut v = vec![0u8; len];
+        for chunk in v.chunks_mut(8) {
+            let word = self.rng.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        Bytes::from(v)
+    }
+
+    /// Per-I/O sub-object for EC mode: the paper's accelerators encode
+    /// each I/O's payload, so each block-sized extent is its own EC
+    /// object (a partial-write model documented in DESIGN.md).
+    fn ec_oid(&self, obj_name: u64, offset: u64) -> ObjectId {
+        let mut z = obj_name ^ offset.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        ObjectId::new(self.image.pool, z ^ (z >> 31))
+    }
+
+    /// Execute one I/O issued at `ready`; returns (start, completion).
+    /// `start` is when the submission context actually picks the op up —
+    /// the basis for fio-style completion latency (time queued behind the
+    /// submitting core's own backlog is submission latency, not clat).
+    fn do_io(&mut self, ready: SimTime, job: u32, op: TraceOp) -> (SimTime, SimTime) {
+        let write = op.write;
+        let bytes = op.len as u64;
+        let costs = host_costs(
+            &self.cfg.features,
+            self.cfg.fpga,
+            write,
+            op.random,
+            bytes,
+            self.cfg.mode,
+        );
+
+        // --- Submission context ----------------------------------------
+        let ctx_idx = (job as usize) % self.contexts.len();
+        let start = self.contexts[ctx_idx].earliest_start(ready);
+
+        let mut t = start + costs.submit_latency;
+
+        // --- PCIe + card + FPGA network stack ---------------------------
+        let mut ec_shards: Option<(Vec<Vec<u8>>, usize)> = None;
+        let payload = write.then(|| self.payload_for(op.len as usize));
+        if self.cfg.fpga {
+            // Payload (writes) or command (reads) crosses PCIe.
+            let dma_bytes = if write { bytes } else { 256 };
+            t = self.pcie_h2c.transfer(t, dma_bytes);
+            // Placement kernel runs as data streams through the card:
+            // execute the *real* CRUSH rule on the device model so DFX
+            // swaps, fallbacks and cycle budgets are all exercised.
+            {
+                let (pool_id, rule, width) = match self.cfg.mode {
+                    Mode::Replication => (1u32, deliba_cluster::cluster::RULE_REPLICATED_OSD, 3),
+                    Mode::ErasureCoding => (2u32, deliba_cluster::cluster::RULE_EC_OSD, 6),
+                };
+                let (obj, _) = self.image.object_of(op.offset);
+                let pool = self.cluster.map().pool(pool_id).expect("pool exists").clone();
+                let seed = pool.pg_seed(pool.pg_of(ObjectId::new(pool_id, obj.name)));
+                let hls = !self.cfg.features.rtl_accel;
+                let preferred = self.cfg.preferred_rm;
+                let crush = self.cluster.map().crush();
+                let card = self.card.as_mut().expect("fpga config has a card");
+                let (_devices, place_t, _kernel) = card.place(t, crush, rule, seed, width, preferred);
+                t += if hls {
+                    place_t * HLS_LATENCY_INFLATION
+                } else {
+                    place_t
+                };
+            }
+            // EC writes: the RS accelerator encodes on the card.
+            if write && self.cfg.mode == Mode::ErasureCoding {
+                let card = self.card.as_mut().expect("fpga config has a card");
+                let data = payload.as_ref().expect("write has payload");
+                let (shards, enc_t) = card.encode(data);
+                t += if self.cfg.features.rtl_accel {
+                    enc_t
+                } else {
+                    enc_t * HLS_LATENCY_INFLATION
+                };
+                ec_shards = Some((shards, data.len()));
+            }
+            // FPGA TCP stack pipeline fill.
+            let stack = TcpStack::new(self.cfg.features.hw_tcp);
+            if stack.kind != TcpStackKind::HostSoftware {
+                t += stack.latency(bytes);
+            }
+        } else if write && self.cfg.mode == Mode::ErasureCoding {
+            // Software baseline: encode on the host (time already charged
+            // by host_costs; compute the real shards here).
+            let data = payload.as_ref().expect("write has payload");
+            let rs = deliba_ec::ReedSolomon::new(4, 2);
+            ec_shards = Some((rs.encode(data), data.len()));
+        }
+
+        // --- Cluster ----------------------------------------------------
+        let (obj, obj_off) = self.image.object_of(op.offset);
+        let outcome = match (self.cfg.mode, write) {
+            (Mode::Replication, true) => {
+                let data = payload.as_ref().expect("write has payload");
+                self.written
+                    .insert((obj.name, (op.offset % self.image.object_size) as u32), Self::checksum(data));
+                self.cluster
+                    .write_replicated_at(t, obj, obj_off as usize, data, op.random)
+            }
+            (Mode::Replication, false) => {
+                match self
+                    .cluster
+                    .read_replicated(t, obj, obj_off as usize, op.len as usize, op.random)
+                {
+                    Some((data, out)) => {
+                        let key = (obj.name, (op.offset % self.image.object_size) as u32);
+                        if let Some(&sum) = self.written.get(&key) {
+                            if Self::checksum(&data) != sum {
+                                self.verify_failures += 1;
+                            }
+                        }
+                        Some(out)
+                    }
+                    None => None,
+                }
+            }
+            (Mode::ErasureCoding, true) => {
+                let (shards, orig_len) = ec_shards.expect("EC write encoded");
+                let oid = self.ec_oid(obj.name, op.offset);
+                let data = payload.as_ref().expect("write has payload");
+                self.written
+                    .insert((oid.name, 0), Self::checksum(data));
+                self.cluster
+                    .write_ec_shards(t, oid, orig_len, shards, op.random)
+            }
+            (Mode::ErasureCoding, false) => {
+                let oid = self.ec_oid(obj.name, op.offset);
+                let res = if self.cluster.ec_object_exists(oid) {
+                    self.cluster.read_ec(t, oid, op.random)
+                } else {
+                    self.cluster
+                        .read_ec_sparse(t, oid, op.len as usize, op.random)
+                };
+                match res {
+                    Some((data, out)) => {
+                        if let Some(&sum) = self.written.get(&(oid.name, 0)) {
+                            if Self::checksum(&data) != sum {
+                                self.verify_failures += 1;
+                            }
+                        }
+                        Some(out)
+                    }
+                    None => None,
+                }
+            }
+        };
+
+        let Some(outcome) = outcome else {
+            // The cluster could not serve the op (catastrophic failure
+            // injection); charge a timeout-scale penalty.
+            self.degraded_ops += 1;
+            return (start, t + SimDuration::from_millis(30));
+        };
+        if outcome.degraded {
+            self.degraded_ops += 1;
+        }
+        let mut complete = outcome.complete;
+
+        // --- Return path ------------------------------------------------
+        if self.cfg.fpga && !write {
+            // Read payload crosses PCIe back to the host buffer.
+            complete = self.pcie_c2h.transfer(complete, bytes);
+        }
+        complete += costs.complete_latency;
+
+        // --- Context occupancy -------------------------------------------
+        if self.cfg.features.sync_daemon {
+            // NBD architecture: the daemon is held for the round trip —
+            // fully for writes, partially for reads (socket handoff).
+            let rtt = complete.saturating_since(start);
+            let hold = if write {
+                rtt
+            } else {
+                rtt * calib::NBD_READ_HOLD_FRACTION
+            };
+            self.contexts[ctx_idx].begin(start, hold);
+        } else {
+            self.contexts[ctx_idx].begin(start, costs.occupancy);
+        }
+        (start, complete)
+    }
+
+    /// Run per-job traces closed-loop with the given queue depth.
+    pub fn run_trace(&mut self, jobs: Vec<Vec<TraceOp>>, iodepth: u32) -> RunReport {
+        let mut hist = Histogram::new();
+        let mut counter = Counter::new();
+        let mut cursors: Vec<usize> = vec![0; jobs.len()];
+        // (ready_time, tiebreak, job)
+        let mut heap: BinaryHeap<Reverse<(SimTime, u64, u32)>> = BinaryHeap::new();
+        let mut tiebreak = 0u64;
+        for (j, ops) in jobs.iter().enumerate() {
+            let tokens = (iodepth as usize).min(ops.len());
+            for k in 0..tokens {
+                heap.push(Reverse((
+                    SimTime::from_nanos(100 * (j * iodepth as usize + k) as u64),
+                    tiebreak,
+                    j as u32,
+                )));
+                tiebreak += 1;
+            }
+        }
+        let mut last_complete = SimTime::ZERO;
+        while let Some(Reverse((ready, _, job))) = heap.pop() {
+            let idx = cursors[job as usize];
+            if idx >= jobs[job as usize].len() {
+                continue;
+            }
+            cursors[job as usize] += 1;
+            let op = jobs[job as usize][idx];
+            // Application compute between ops runs on the app's own core,
+            // off every modeled resource.
+            let ready = ready + SimDuration::from_nanos(op.think_ns);
+            let (start, complete) = self.do_io(ready, job, op);
+            hist.record(complete.saturating_since(start));
+            counter.record(op.len as u64);
+            last_complete = last_complete.max(complete);
+            heap.push(Reverse((complete, tiebreak, job)));
+            tiebreak += 1;
+        }
+        let window = last_complete.saturating_since(SimTime::ZERO);
+        RunReport::new(
+            self.cfg.label(),
+            "trace".to_string(),
+            &hist,
+            &counter,
+            window,
+            self.degraded_ops,
+            self.verify_failures,
+        )
+    }
+
+    /// Generate and run a fio-style workload.
+    pub fn run_fio(&mut self, spec: &FioSpec) -> RunReport {
+        let bs = spec.block_size as u64;
+        assert!(bs > 0 && IMAGE_BYTES.is_multiple_of(bs), "block size must divide image");
+        let blocks = IMAGE_BYTES / bs;
+        let per_job = (spec.ops / spec.numjobs as u64).max(1);
+        let mut op_rng = self.rng.jump();
+        let mut jobs = Vec::with_capacity(spec.numjobs as usize);
+        for j in 0..spec.numjobs as u64 {
+            let mut ops = Vec::with_capacity(per_job as usize);
+            // Each sequential job streams its own slice of the image.
+            let region_blocks = blocks / spec.numjobs as u64;
+            let region_base = j * region_blocks;
+            for k in 0..per_job {
+                let offset = match spec.pattern {
+                    Pattern::Seq => (region_base + (k % region_blocks)) * bs,
+                    Pattern::Rand => op_rng.gen_range(blocks) * bs,
+                };
+                ops.push(TraceOp {
+                    write: spec.rw == RwMode::Write,
+                    offset,
+                    len: spec.block_size,
+                    random: spec.pattern == Pattern::Rand,
+                    think_ns: 0,
+                });
+            }
+            jobs.push(ops);
+        }
+        let mut report = self.run_trace(jobs, spec.iodepth);
+        report.workload = spec.label();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(cfg: EngineConfig, spec: FioSpec) -> RunReport {
+        Engine::new(cfg).run_fio(&spec)
+    }
+
+    #[test]
+    fn deliba_k_hw_latency_in_table_ii_regime() {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication);
+        let spec = FioSpec::latency_probe(RwMode::Read, Pattern::Rand, 4096, 300);
+        let r = quick(cfg, spec);
+        // Table II: 64 µs rand-read.  Allow ±25 % before fine calibration
+        // assertions in the harness.
+        assert!(
+            (40.0..90.0).contains(&r.mean_latency_us),
+            "rand-read 4k: {} µs",
+            r.mean_latency_us
+        );
+        assert_eq!(r.verify_failures, 0);
+    }
+
+    #[test]
+    fn generation_latency_ordering() {
+        let spec = FioSpec::latency_probe(RwMode::Read, Pattern::Rand, 4096, 200);
+        let lat = |g| {
+            quick(EngineConfig::new(g, true, Mode::Replication), spec).mean_latency_us
+        };
+        let d1 = lat(Generation::DeLiBA1);
+        let d2 = lat(Generation::DeLiBA2);
+        let dk = lat(Generation::DeLiBAK);
+        assert!(d1 > d2, "D1 {d1} > D2 {d2}");
+        assert!(d2 > dk, "D2 {d2} > DK {dk}");
+    }
+
+    #[test]
+    fn deliba_k_iops_peak_regime() {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication);
+        let spec = FioSpec::paper(RwMode::Read, Pattern::Rand, 4096, 6_000);
+        let r = quick(cfg, spec);
+        // §VI: DeLiBA-K peaks near 59 K IOPS.
+        assert!(
+            (45.0..75.0).contains(&r.kiops),
+            "rand-read 4k KIOPS: {}",
+            r.kiops
+        );
+    }
+
+    #[test]
+    fn throughput_speedup_over_d2() {
+        let spec = FioSpec::paper(RwMode::Write, Pattern::Rand, 4096, 4_000);
+        let dk = quick(
+            EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication),
+            spec,
+        );
+        let d2 = quick(
+            EngineConfig::new(Generation::DeLiBA2, true, Mode::Replication),
+            spec,
+        );
+        let speedup = dk.throughput_mbps / d2.throughput_mbps;
+        // Paper: 3.45× at 4 kB random writes.
+        assert!(
+            (2.2..5.0).contains(&speedup),
+            "speedup {speedup} (dk {} d2 {})",
+            dk.throughput_mbps,
+            d2.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn write_read_integrity_through_engine() {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication);
+        let mut e = Engine::new(cfg);
+        // Write then read back the same blocks.
+        let mut ops = Vec::new();
+        for i in 0..50u64 {
+            ops.push(TraceOp::write(i * 4096, 4096, false));
+        }
+        for i in 0..50u64 {
+            ops.push(TraceOp::read(i * 4096, 4096, false));
+        }
+        let r = e.run_trace(vec![ops], 1);
+        assert_eq!(r.ops, 100);
+        assert_eq!(e.verify_failures(), 0, "read-back must match writes");
+    }
+
+    #[test]
+    fn ec_mode_integrity() {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::ErasureCoding);
+        let mut e = Engine::new(cfg);
+        let mut ops = Vec::new();
+        for i in 0..30u64 {
+            ops.push(TraceOp::write(i * 8192, 8192, true));
+        }
+        for i in 0..30u64 {
+            ops.push(TraceOp::read(i * 8192, 8192, true));
+        }
+        let r = e.run_trace(vec![ops], 1);
+        assert_eq!(r.ops, 60);
+        assert_eq!(e.verify_failures(), 0);
+    }
+
+    #[test]
+    fn seq_faster_than_rand() {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication);
+        let seq = quick(cfg, FioSpec::latency_probe(RwMode::Read, Pattern::Seq, 4096, 300));
+        let rand = quick(cfg, FioSpec::latency_probe(RwMode::Read, Pattern::Rand, 4096, 300));
+        assert!(seq.mean_latency_us < rand.mean_latency_us);
+    }
+
+    #[test]
+    fn sw_baseline_slower_than_hw() {
+        let spec = FioSpec::latency_probe(RwMode::Read, Pattern::Rand, 4096, 200);
+        let hw = quick(EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication), spec);
+        let sw = quick(EngineConfig::new(Generation::DeLiBAK, false, Mode::Replication), spec);
+        assert!(sw.mean_latency_us > hw.mean_latency_us + 30.0, "sw {} hw {}", sw.mean_latency_us, hw.mean_latency_us);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication);
+        let spec = FioSpec::paper(RwMode::Write, Pattern::Rand, 4096, 1_000);
+        let a = quick(cfg, spec);
+        let b = quick(cfg, spec);
+        assert_eq!(a.mean_latency_us, b.mean_latency_us);
+        assert_eq!(a.throughput_mbps, b.throughput_mbps);
+    }
+}

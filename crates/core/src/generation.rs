@@ -1,0 +1,198 @@
+//! The three DeLiBA generations and their structural differences.
+//!
+//! | Aspect | DeLiBA-1 | DeLiBA-2 | DeLiBA-K |
+//! |---|---|---|---|
+//! | host API | read()/write() + NBD | read()/write() + NBD | io_uring, 3 kernel-polled instances |
+//! | user/kernel crossings per I/O | 6 | 5 | amortized ≈ 0 (SQ polling) |
+//! | memory copies per I/O | 6 | 5 | 1 (registered buffer → DMA) |
+//! | MQ scheduler | on | on | bypassed (DMQ) |
+//! | DMA | XDMA-like single queue | XDMA-like | QDMA multi-queue per core |
+//! | accelerators | HLS | HLS | Verilog RTL (Table I) |
+//! | TCP/IP | host software | HLS on FPGA | Verilog RTL on FPGA |
+//! | completion | interrupt | interrupt | polled CQ |
+//!
+//! (§I, §III; the crossing/copy counts are the paper's own: "DeLiBA-1
+//! had at least six such context switches each per read()/write() call,
+//! with the previous DeLiBA-2 going through this copying process five
+//! times".)
+
+use deliba_net::TcpStackKind;
+
+/// The decomposed host-path feature set — one knob per optimization the
+/// paper's Fig. 2 highlights.  [`Generation`] is a preset over these;
+/// the ablation experiment flips them one at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathFeatures {
+    /// User/kernel crossings per I/O.
+    pub crossings: u32,
+    /// Host payload copies per I/O.
+    pub copies: u32,
+    /// io_uring (true) vs NBD read()/write() plumbing (circle ①).
+    pub io_uring: bool,
+    /// DMQ scheduler bypass (circle ②).
+    pub sched_bypass: bool,
+    /// QDMA multi-queue DMA vs XDMA-style single queue (circle ③).
+    pub qdma: bool,
+    /// RTL accelerators vs the HLS generation (circle ④).
+    pub rtl_accel: bool,
+    /// Polled completion (kernel-polled rings) vs interrupts (circle ⑤).
+    pub polled_completion: bool,
+    /// TCP stack when the FPGA is present (circle ⑥).
+    pub hw_tcp: TcpStackKind,
+    /// Synchronous NBD daemon architecture (one event loop holding each
+    /// request for its round trip).
+    pub sync_daemon: bool,
+    /// Concurrent submission contexts.
+    pub contexts: usize,
+    /// Which generation's fitted residual anchors this path (see
+    /// `calib::residual`).
+    pub residual_of: Generation,
+}
+
+/// A DeLiBA framework generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Generation {
+    /// DeLiBA-1 (FPL'22) — "D1" in the figures.
+    DeLiBA1,
+    /// DeLiBA-2 (TRETS'24) — "D2" in the figures.
+    DeLiBA2,
+    /// DeLiBA-K (this paper) — "D3"/"DK" in the figures.
+    DeLiBAK,
+}
+
+impl Generation {
+    /// Display label used in the paper's charts.
+    pub fn label(self) -> &'static str {
+        match self {
+            Generation::DeLiBA1 => "D1",
+            Generation::DeLiBA2 => "D2",
+            Generation::DeLiBAK => "DeLiBA-K",
+        }
+    }
+
+    /// User/kernel crossings per I/O.
+    pub fn crossings_per_io(self) -> u32 {
+        match self {
+            Generation::DeLiBA1 => 6,
+            Generation::DeLiBA2 => 5,
+            // Kernel-polled io_uring: no syscall in steady state; the
+            // residual crossing cost is amortized over whole batches and
+            // charged separately in the host path.
+            Generation::DeLiBAK => 0,
+        }
+    }
+
+    /// Payload memory copies per I/O on the host.
+    pub fn copies_per_io(self) -> u32 {
+        match self {
+            Generation::DeLiBA1 => 6,
+            Generation::DeLiBA2 => 5,
+            Generation::DeLiBAK => 1,
+        }
+    }
+
+    /// Does the block layer run an MQ scheduler?
+    pub fn uses_mq_scheduler(self) -> bool {
+        !matches!(self, Generation::DeLiBAK)
+    }
+
+    /// Synchronous NBD-daemon architecture?  D1/D2 funnel every volume's
+    /// I/O through one user-space NBD event loop that holds the request
+    /// for its full round trip; DeLiBA-K's io_uring instances pipeline.
+    pub fn synchronous_daemon(self) -> bool {
+        !matches!(self, Generation::DeLiBAK)
+    }
+
+    /// Number of concurrent host submission contexts (io_uring instances
+    /// for DeLiBA-K — §III-A fixes this at 3; the NBD daemon otherwise).
+    pub fn submission_contexts(self) -> usize {
+        match self {
+            Generation::DeLiBAK => 3,
+            _ => 1,
+        }
+    }
+
+    /// TCP stack used when the FPGA is present.
+    pub fn hw_tcp_stack(self) -> TcpStackKind {
+        match self {
+            // D1 accelerated storage only; networking stayed on the host.
+            Generation::DeLiBA1 => TcpStackKind::HostSoftware,
+            Generation::DeLiBA2 => TcpStackKind::HlsFpga,
+            Generation::DeLiBAK => TcpStackKind::RtlFpga,
+        }
+    }
+
+    /// Are the accelerators the HLS generation (D1/D2) or RTL (DK)?
+    pub fn hls_accelerators(self) -> bool {
+        !matches!(self, Generation::DeLiBAK)
+    }
+
+    /// Interrupt-driven completion (vs. polled CQ).
+    pub fn interrupt_completion(self) -> bool {
+        !matches!(self, Generation::DeLiBAK)
+    }
+
+    /// The generation's feature preset.
+    pub fn features(self) -> PathFeatures {
+        PathFeatures {
+            crossings: self.crossings_per_io(),
+            copies: self.copies_per_io(),
+            io_uring: !self.synchronous_daemon(),
+            sched_bypass: !self.uses_mq_scheduler(),
+            qdma: self == Generation::DeLiBAK,
+            rtl_accel: !self.hls_accelerators(),
+            polled_completion: !self.interrupt_completion(),
+            hw_tcp: self.hw_tcp_stack(),
+            sync_daemon: self.synchronous_daemon(),
+            contexts: self.submission_contexts(),
+            residual_of: self,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        assert_eq!(Generation::DeLiBA1.crossings_per_io(), 6);
+        assert_eq!(Generation::DeLiBA2.copies_per_io(), 5);
+        assert_eq!(Generation::DeLiBAK.copies_per_io(), 1);
+        assert_eq!(Generation::DeLiBAK.submission_contexts(), 3);
+    }
+
+    #[test]
+    fn structural_ordering() {
+        // Every structural overhead is non-increasing across generations.
+        let gens = [
+            Generation::DeLiBA1,
+            Generation::DeLiBA2,
+            Generation::DeLiBAK,
+        ];
+        for w in gens.windows(2) {
+            assert!(w[0].crossings_per_io() >= w[1].crossings_per_io());
+            assert!(w[0].copies_per_io() >= w[1].copies_per_io());
+        }
+    }
+
+    #[test]
+    fn stacks_match_paper_history() {
+        assert_eq!(
+            Generation::DeLiBA1.hw_tcp_stack(),
+            TcpStackKind::HostSoftware,
+            "D2 'moved the network stack onto the FPGA as well' — so D1 had it on the host"
+        );
+        assert_eq!(Generation::DeLiBA2.hw_tcp_stack(), TcpStackKind::HlsFpga);
+        assert_eq!(Generation::DeLiBAK.hw_tcp_stack(), TcpStackKind::RtlFpga);
+    }
+
+    #[test]
+    fn only_deliba_k_bypasses_and_polls() {
+        assert!(Generation::DeLiBA1.uses_mq_scheduler());
+        assert!(Generation::DeLiBA2.interrupt_completion());
+        assert!(!Generation::DeLiBAK.uses_mq_scheduler());
+        assert!(!Generation::DeLiBAK.interrupt_completion());
+        assert!(!Generation::DeLiBAK.synchronous_daemon());
+    }
+}

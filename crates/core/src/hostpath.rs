@@ -1,0 +1,213 @@
+//! Per-I/O host-side cost computation.
+//!
+//! Splits every host cost into two channels:
+//!
+//! * **latency** — time added to the I/O's critical path;
+//! * **occupancy** — time the submission context (an io_uring core or
+//!   the NBD daemon) is busy and unavailable to other I/Os.  Occupancy,
+//!   not latency, bounds IOPS.
+//!
+//! The structure (who pays what) comes from
+//! [`Generation`](crate::Generation); magnitudes from [`crate::calib`].
+
+use crate::calib;
+use crate::engine::Mode;
+use crate::generation::PathFeatures;
+#[cfg(test)]
+use crate::Generation;
+use deliba_net::{TcpStack, TcpStackKind};
+use deliba_sim::SimDuration;
+
+/// Host-side costs of one I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostCosts {
+    /// Critical-path latency on the submission side (before the wire).
+    pub submit_latency: SimDuration,
+    /// Submission-context busy time.
+    pub occupancy: SimDuration,
+    /// Critical-path latency on the completion side.
+    pub complete_latency: SimDuration,
+}
+
+/// Compute host costs for one I/O from a decomposed feature set.
+///
+/// `fpga` selects hardware acceleration vs. the pure software baseline
+/// (§III-C); `write`/`bytes` describe the I/O; `mode` decides whether a
+/// software EC encode is charged on the write path.
+pub fn host_costs(
+    features: &PathFeatures,
+    fpga: bool,
+    write: bool,
+    random: bool,
+    bytes: u64,
+    mode: Mode,
+) -> HostCosts {
+    let mut latency = SimDuration::ZERO;
+    let mut occupancy = SimDuration::ZERO;
+
+    // API + crossings + copies.
+    let crossings = calib::CROSSING * features.crossings as u64;
+    let copies = calib::copy_time(bytes, features.copies);
+    let api = if features.io_uring {
+        calib::URING_PER_IO
+    } else {
+        calib::NBD_PER_IO
+    };
+    latency += crossings + copies + api;
+    occupancy += crossings + copies + api;
+
+    // Non-offloadable client protocol work.
+    let proto = if write {
+        calib::CLIENT_PROTO_WRITE
+            + SimDuration::from_nanos(bytes.div_ceil(1024) * calib::WRITE_CRC_NS_PER_KIB)
+    } else {
+        calib::CLIENT_PROTO_READ
+            + SimDuration::from_nanos(bytes.div_ceil(1024) * calib::READ_CRC_NS_PER_KIB)
+    };
+    let share = if write {
+        calib::PROTO_LATENCY_SHARE_WRITE
+    } else {
+        calib::PROTO_LATENCY_SHARE_READ
+    };
+    latency += proto * share;
+    occupancy += proto;
+
+    // Block layer.
+    let blk = if features.sched_bypass {
+        calib::MQ_BYPASS
+    } else {
+        calib::MQ_SCHED
+    };
+    latency += blk;
+    occupancy += blk;
+
+    // Placement (+ EC encode for writes) in software when no FPGA.
+    if !fpga {
+        let mut sw = calib::SW_CRUSH;
+        if write && mode == Mode::ErasureCoding {
+            sw += calib::SW_RS_BASE
+                + SimDuration::from_nanos(
+                    bytes.saturating_sub(4096).div_ceil(1024) * calib::SW_RS_NS_PER_KIB,
+                );
+        }
+        latency += sw;
+        occupancy += sw;
+    }
+
+    // Driver/DMA submission side.
+    if fpga {
+        let desc = if features.qdma {
+            calib::QDMA_DESC
+        } else {
+            calib::XDMA_DESC
+        };
+        latency += desc;
+        occupancy += desc; // doorbell + descriptor fill are CPU work
+    }
+
+    // Host network processing when the TCP stack runs in software
+    // (either the software baseline, or D1's host-network hardware
+    // configuration).
+    let stack_kind = if fpga {
+        features.hw_tcp
+    } else {
+        TcpStackKind::HostSoftware
+    };
+    if stack_kind == TcpStackKind::HostSoftware {
+        let tcp = TcpStack::new(TcpStackKind::HostSoftware);
+        latency += calib::SW_NET_ROUND;
+        occupancy += tcp.host_cpu(bytes);
+    }
+
+    // Completion side.
+    let completion = if features.polled_completion {
+        calib::POLLED_COMPLETION
+    } else {
+        calib::IRQ_COMPLETION
+    };
+    let residual = calib::residual(features.residual_of, write, random);
+
+    HostCosts {
+        submit_latency: latency,
+        occupancy: occupancy + completion,
+        complete_latency: completion + residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KB4: u64 = 4096;
+
+    #[test]
+    fn deliba_k_hw_is_cheapest_everywhere() {
+        for write in [false, true] {
+            let d1 = host_costs(&Generation::DeLiBA1.features(), true, write, true, KB4, Mode::Replication);
+            let d2 = host_costs(&Generation::DeLiBA2.features(), true, write, true, KB4, Mode::Replication);
+            let dk = host_costs(&Generation::DeLiBAK.features(), true, write, true, KB4, Mode::Replication);
+            assert!(dk.submit_latency < d2.submit_latency);
+            assert!(d2.submit_latency < d1.submit_latency);
+            assert!(dk.occupancy < d2.occupancy);
+            // Total critical-path latency shrinks across generations
+            // (per-side terms may reorder because the fitted residuals
+            // land on the completion side).
+            let total = |c: &HostCosts| c.submit_latency + c.complete_latency;
+            assert!(total(&dk) < total(&d2));
+            assert!(total(&d2) < total(&d1));
+        }
+    }
+
+    #[test]
+    fn software_baseline_charges_crush() {
+        let hw = host_costs(&Generation::DeLiBAK.features(), true, false, true, KB4, Mode::Replication);
+        let sw = host_costs(&Generation::DeLiBAK.features(), false, false, true, KB4, Mode::Replication);
+        let delta = sw.submit_latency - hw.submit_latency;
+        // SW path adds CRUSH (48 µs) + SW net round, minus the QDMA
+        // descriptor cost.
+        assert!(
+            delta >= calib::SW_CRUSH,
+            "delta {delta} must cover software CRUSH"
+        );
+    }
+
+    #[test]
+    fn ec_writes_charge_software_encode() {
+        let rep = host_costs(&Generation::DeLiBA2.features(), false, true, true, KB4, Mode::Replication);
+        let ec = host_costs(&Generation::DeLiBA2.features(), false, true, true, KB4, Mode::ErasureCoding);
+        let delta = ec.submit_latency - rep.submit_latency;
+        assert_eq!(delta, calib::SW_RS_BASE, "4 kB pays the base encode");
+        // Reads never pay the encoder.
+        let ec_r = host_costs(&Generation::DeLiBA2.features(), false, false, true, KB4, Mode::ErasureCoding);
+        let rep_r = host_costs(&Generation::DeLiBA2.features(), false, false, true, KB4, Mode::Replication);
+        assert_eq!(ec_r, rep_r);
+    }
+
+    #[test]
+    fn copies_dominate_large_blocks_for_old_generations() {
+        let small = host_costs(&Generation::DeLiBA1.features(), true, true, true, KB4, Mode::Replication);
+        let large = host_costs(&Generation::DeLiBA1.features(), true, true, true, 128 * 1024, Mode::Replication);
+        let growth = large.submit_latency - small.submit_latency;
+        // 124 KiB × 6 copies ≈ 59 µs of extra memcpy plus crc.
+        assert!(growth > SimDuration::from_micros(60), "growth {growth}");
+    }
+
+    #[test]
+    fn d1_pays_host_network_even_with_fpga() {
+        let d1 = host_costs(&Generation::DeLiBA1.features(), true, false, true, KB4, Mode::Replication);
+        let d2 = host_costs(&Generation::DeLiBA2.features(), true, false, true, KB4, Mode::Replication);
+        // D1's gap over D2 includes the software net round (14 µs) plus
+        // one extra crossing and copy.
+        let gap = d1.submit_latency - d2.submit_latency;
+        assert!(gap > calib::SW_NET_ROUND, "gap {gap}");
+    }
+
+    #[test]
+    fn occupancy_drives_iops_shape() {
+        // DeLiBA-K read occupancy ≈ 50 µs → 3 cores ≈ 60 K IOPS — the
+        // §VI "59 K IOPS" regime.
+        let dk = host_costs(&Generation::DeLiBAK.features(), true, false, true, KB4, Mode::Replication);
+        let iops = 3.0 / dk.occupancy.as_secs_f64();
+        assert!((52_000.0..68_000.0).contains(&iops), "{iops}");
+    }
+}

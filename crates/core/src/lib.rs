@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # deliba-core — the DeLiBA-K framework
+//!
+//! This crate is the paper's primary contribution assembled over the
+//! substrate crates: the three generations of the Development of Linux
+//! Block I/O Accelerators framework as configurable host I/O paths, the
+//! UIFD driver layer, and the end-to-end engine that runs workloads
+//! against the simulated cluster and produces the latency / throughput /
+//! IOPS numbers of Figs. 3–9 and Tables I–II.
+//!
+//! * [`generation`] — [`Generation`]: DeLiBA-1, DeLiBA-2, DeLiBA-K, and
+//!   the structural differences between them (user/kernel crossings,
+//!   memory copies, API, scheduler bypass, DMA engine, TCP stack,
+//!   accelerator generation);
+//! * [`calib`] — every timing constant of the host-path model, each
+//!   documented with its provenance (measured Table I/II values or
+//!   microarchitectural reasoning);
+//! * [`hostpath`] — per-I/O host-side cost computation;
+//! * [`uifd`] — the Unified I/O FPGA Driver: the functional binding of
+//!   blk-mq dispatch onto QDMA queue sets onto the card
+//!   (data actually flows through the descriptor engine);
+//! * [`engine`] — the closed-loop virtual-time engine;
+//! * [`report`] — serializable run reports consumed by the benchmark
+//!   harness.
+
+pub mod calib;
+pub mod engine;
+pub mod generation;
+pub mod hostpath;
+pub mod report;
+pub mod uifd;
+
+pub use engine::{Engine, EngineConfig, FioSpec, Mode, Pattern, RwMode, IMAGE_BYTES};
+pub use generation::Generation;
+pub use report::RunReport;
+pub use uifd::Uifd;

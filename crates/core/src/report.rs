@@ -1,0 +1,104 @@
+//! Serializable run reports — the rows of every figure and table.
+
+use deliba_sim::{Counter, Histogram, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one engine run (one bar in one figure).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct RunReport {
+    /// Configuration label, e.g. `"DeLiBA-K (HW, replication)"`.
+    pub config: String,
+    /// Workload label, e.g. `"rand-write 4k"`.
+    pub workload: String,
+    /// Mean latency, µs.
+    pub mean_latency_us: f64,
+    /// 99th-percentile latency, µs.
+    pub p99_latency_us: f64,
+    /// Throughput, MB/s (decimal, fio convention).
+    pub throughput_mbps: f64,
+    /// Thousands of IOPS.
+    pub kiops: f64,
+    /// Operations completed.
+    pub ops: u64,
+    /// Operations that ran degraded (failure injection).
+    pub degraded_ops: u64,
+    /// Data-integrity mismatches (must be 0).
+    pub verify_failures: u64,
+    /// Measurement window, seconds of virtual time.
+    pub window_s: f64,
+}
+
+impl RunReport {
+    /// Assemble from measurement primitives.
+    pub fn new(
+        config: String,
+        workload: String,
+        hist: &Histogram,
+        counter: &Counter,
+        window: SimDuration,
+        degraded_ops: u64,
+        verify_failures: u64,
+    ) -> Self {
+        RunReport {
+            config,
+            workload,
+            mean_latency_us: hist.mean_us(),
+            p99_latency_us: hist.p99_us(),
+            throughput_mbps: counter.mbps(window),
+            kiops: counter.iops(window) / 1_000.0,
+            ops: counter.ops(),
+            degraded_ops,
+            verify_failures,
+            window_s: window.as_secs_f64(),
+        }
+    }
+
+    /// One-line human-readable form used by the harness.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<32} {:<18} lat {:>9.1} µs  p99 {:>9.1} µs  {:>9.1} MB/s  {:>8.2} KIOPS  ({} ops{})",
+            self.config,
+            self.workload,
+            self.mean_latency_us,
+            self.p99_latency_us,
+            self.throughput_mbps,
+            self.kiops,
+            self.ops,
+            if self.degraded_ops > 0 {
+                format!(", {} degraded", self.degraded_ops)
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_assembly_and_serde() {
+        let mut hist = Histogram::new();
+        let mut counter = Counter::new();
+        for _ in 0..1000 {
+            hist.record(SimDuration::from_micros(64));
+            counter.record(4096);
+        }
+        let r = RunReport::new(
+            "DeLiBA-K (HW, replication)".into(),
+            "rand-read 4k".into(),
+            &hist,
+            &counter,
+            SimDuration::from_secs(1),
+            0,
+            0,
+        );
+        assert!((r.mean_latency_us - 64.0).abs() < 1.0);
+        assert!((r.kiops - 1.0).abs() < 1e-9);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert!(r.row().contains("rand-read 4k"));
+    }
+}

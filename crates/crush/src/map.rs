@@ -1,0 +1,690 @@
+//! The CRUSH map: hierarchy, device states, and rule execution.
+//!
+//! `CrushMap::do_rule` is the function DeLiBA-K accelerates in hardware.
+//! Its four key operations — rule evaluation, hash computation, data
+//! mapping and replication — are precisely the ones whose clock cycles
+//! the paper counts for the RTL accelerators (§IV-B).  The software path
+//! here is the baseline whose per-kernel execution times appear in
+//! column 2 of Table I.
+
+use crate::bucket::{Bucket, BucketAlg, BucketId};
+use crate::rule::{Rule, RuleStep};
+use std::collections::BTreeMap;
+
+/// Non-negative device (OSD) identifier.
+pub type DeviceId = i32;
+
+/// Maximum total descent attempts per replica slot before giving up
+/// (Ceph tunable `choose_total_tries`).
+pub const CHOOSE_TOTAL_TRIES: u32 = 50;
+
+/// A CRUSH map: the bucket hierarchy plus device health state.
+#[derive(Debug, Clone, Default)]
+pub struct CrushMap {
+    buckets: BTreeMap<BucketId, Bucket>,
+    /// Devices marked failed/out: excluded from placement.
+    out: BTreeMap<DeviceId, bool>,
+    rules: BTreeMap<u32, Rule>,
+}
+
+impl CrushMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace a bucket.
+    pub fn add_bucket(&mut self, bucket: Bucket) {
+        self.buckets.insert(bucket.id, bucket);
+    }
+
+    /// Look up a bucket.
+    pub fn bucket(&self, id: BucketId) -> Option<&Bucket> {
+        self.buckets.get(&id)
+    }
+
+    /// Mutable bucket access (for reweighting).
+    pub fn bucket_mut(&mut self, id: BucketId) -> Option<&mut Bucket> {
+        self.buckets.get_mut(&id)
+    }
+
+    /// Register a rule.
+    pub fn add_rule(&mut self, rule: Rule) {
+        rule.validate().expect("invalid rule");
+        self.rules.insert(rule.id, rule);
+    }
+
+    /// Look up a rule.
+    pub fn rule(&self, id: u32) -> Option<&Rule> {
+        self.rules.get(&id)
+    }
+
+    /// Mark a device out (failed): it will not be selected.
+    pub fn mark_out(&mut self, dev: DeviceId) {
+        self.out.insert(dev, true);
+    }
+
+    /// Return a device to service.
+    pub fn mark_in(&mut self, dev: DeviceId) {
+        self.out.remove(&dev);
+    }
+
+    /// Is this device excluded?
+    pub fn is_out(&self, dev: DeviceId) -> bool {
+        self.out.get(&dev).copied().unwrap_or(false)
+    }
+
+    /// All device ids reachable from any bucket (sorted, deduplicated).
+    pub fn devices(&self) -> Vec<DeviceId> {
+        let mut devs: Vec<DeviceId> = self
+            .buckets
+            .values()
+            .flat_map(|b| b.items().iter().copied())
+            .filter(|&i| i >= 0)
+            .collect();
+        devs.sort_unstable();
+        devs.dedup();
+        devs
+    }
+
+    /// Number of distinct devices in the map.
+    pub fn num_devices(&self) -> usize {
+        self.devices().len()
+    }
+
+    /// Devices in the subtree rooted at `id` (a device id returns itself).
+    pub fn subtree_devices(&self, id: i32) -> Vec<DeviceId> {
+        if id >= 0 {
+            return vec![id];
+        }
+        let mut out = Vec::new();
+        if let Some(b) = self.buckets.get(&id) {
+            for &item in b.items() {
+                out.extend(self.subtree_devices(item));
+            }
+        }
+        out
+    }
+
+    /// Descend from `start` choosing children of `target_type`; if
+    /// `to_leaf`, continue from the chosen subtree down to a device.
+    /// `x` is the input, `r` the (retry-adjusted) replica rank.
+    fn descend(
+        &self,
+        start: i32,
+        x: u32,
+        r: u32,
+        target_type: u16,
+        to_leaf: bool,
+    ) -> Option<i32> {
+        let mut cur = start;
+        let mut depth = 0;
+        loop {
+            depth += 1;
+            if depth > 64 {
+                return None; // cycle guard
+            }
+            if cur >= 0 {
+                // Reached a device.
+                return if self.is_out(cur) { None } else { Some(cur) };
+            }
+            let bucket = self.buckets.get(&cur)?;
+            if bucket.bucket_type == target_type && !to_leaf {
+                return Some(cur);
+            }
+            let next = bucket.select(x, r)?;
+            if next >= 0 {
+                return if self.is_out(next) { None } else { Some(next) };
+            }
+            let nb = self.buckets.get(&next)?;
+            if nb.bucket_type == target_type {
+                if to_leaf {
+                    // Continue to a device inside this failure domain,
+                    // re-keyed on the rank so different replicas pick
+                    // different leaves of identical domains.
+                    cur = next;
+                    let mut leaf_r = r;
+                    let mut tries = 0;
+                    loop {
+                        match self.descend_to_device(cur, x, leaf_r) {
+                            Some(dev) => return Some(dev),
+                            None => {
+                                tries += 1;
+                                if tries >= CHOOSE_TOTAL_TRIES {
+                                    return None;
+                                }
+                                leaf_r += 97; // decorrelate retry draws
+                            }
+                        }
+                    }
+                } else {
+                    return Some(next);
+                }
+            }
+            cur = next;
+        }
+    }
+
+    fn descend_to_device(&self, start: BucketId, x: u32, r: u32) -> Option<DeviceId> {
+        let mut cur: i32 = start;
+        let mut depth = 0;
+        loop {
+            depth += 1;
+            if depth > 64 {
+                return None;
+            }
+            if cur >= 0 {
+                return if self.is_out(cur) { None } else { Some(cur) };
+            }
+            let b = self.buckets.get(&cur)?;
+            cur = b.select(x, r)?;
+        }
+    }
+
+    /// Execute a rule for input `x`, requesting `num` positions.
+    ///
+    /// Returns the selected devices in rank order.  Fewer than `num`
+    /// devices may be returned if the map cannot satisfy the request
+    /// (e.g. more replicas than failure domains).
+    pub fn do_rule(&self, rule_id: u32, x: u32, num: usize) -> Vec<DeviceId> {
+        let Some(rule) = self.rules.get(&rule_id) else {
+            return Vec::new();
+        };
+        let mut working: Vec<i32> = Vec::new();
+        let mut result: Vec<DeviceId> = Vec::new();
+
+        for step in &rule.steps {
+            match *step {
+                RuleStep::Take(id) => {
+                    working = vec![id];
+                }
+                RuleStep::Choose { num: n, bucket_type } => {
+                    let want = if n == 0 { num } else { n as usize };
+                    working = self.choose_from(&working, x, want, bucket_type, false, &result);
+                }
+                RuleStep::ChooseLeaf { num: n, bucket_type } => {
+                    let want = if n == 0 { num } else { n as usize };
+                    working = self.choose_from(&working, x, want, bucket_type, true, &result);
+                }
+                RuleStep::Emit => {
+                    result.extend(working.iter().copied().filter(|&i| i >= 0));
+                    working = Vec::new();
+                }
+            }
+        }
+        result
+    }
+
+    fn choose_from(
+        &self,
+        parents: &[i32],
+        x: u32,
+        want: usize,
+        bucket_type: u16,
+        to_leaf: bool,
+        already: &[DeviceId],
+    ) -> Vec<i32> {
+        // CRUSH semantics: `choose n type t` selects n children *per
+        // item* of the working vector (a single Take(root) parent is the
+        // common case; multi-parent working sets arise in multi-step
+        // rules like choose-racks → chooseleaf-hosts).
+        let mut chosen: Vec<i32> = Vec::with_capacity(want * parents.len());
+        let mut chosen_domains: Vec<i32> = Vec::new();
+        for &parent in parents {
+            for _rep in 0..want {
+                let rank = chosen.len() as u32;
+                let mut picked = None;
+                for attempt in 0..CHOOSE_TOTAL_TRIES {
+                    // Rank perturbation: each retry shifts r by the
+                    // requested width so draws stay decorrelated across
+                    // slots (Ceph's firstn r' = r + attempt).
+                    let r = rank + attempt * (want as u32).max(1);
+                    if let Some(item) = self.descend(parent, x, r, bucket_type, to_leaf) {
+                        let collides = chosen.contains(&item)
+                            || (to_leaf && already.contains(&item));
+                        // For chooseleaf, also reject two devices from the
+                        // same failure domain.
+                        let domain_collision = to_leaf
+                            && self
+                                .domain_of(item, bucket_type)
+                                .map(|d| chosen_domains.contains(&d))
+                                .unwrap_or(false);
+                        if !collides && !domain_collision {
+                            picked = Some(item);
+                            break;
+                        }
+                    }
+                }
+                if let Some(item) = picked {
+                    if to_leaf {
+                        if let Some(d) = self.domain_of(item, bucket_type) {
+                            chosen_domains.push(d);
+                        }
+                    }
+                    chosen.push(item);
+                }
+            }
+        }
+        chosen
+    }
+
+    /// Render the hierarchy as a `ceph osd crush tree`-style text dump:
+    /// one line per node with id, type, algorithm, weight and children
+    /// indented beneath their parent.  Roots are buckets no other bucket
+    /// references.
+    pub fn dump(&self) -> String {
+        let referenced: Vec<i32> = self
+            .buckets
+            .values()
+            .flat_map(|b| b.items().iter().copied())
+            .filter(|&i| i < 0)
+            .collect();
+        let mut out = String::new();
+        let mut roots: Vec<i32> = self
+            .buckets
+            .keys()
+            .copied()
+            .filter(|id| !referenced.contains(id))
+            .collect();
+        roots.sort_unstable();
+        for root in roots {
+            self.dump_node(root, 0, &mut out);
+        }
+        out
+    }
+
+    fn dump_node(&self, id: i32, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        if id >= 0 {
+            let state = if self.is_out(id) { " (out)" } else { "" };
+            out.push_str(&format!("{pad}osd.{id}{state}\n"));
+            return;
+        }
+        if let Some(b) = self.buckets.get(&id) {
+            out.push_str(&format!(
+                "{pad}bucket {id} type {} alg {} weight {:.3}\n",
+                b.bucket_type,
+                b.alg.name(),
+                b.total_weight() as f64 / crate::WEIGHT_ONE as f64,
+            ));
+            for (&item, &w) in b.items().iter().zip(b.weights()) {
+                if item >= 0 {
+                    let state = if self.is_out(item) { " (out)" } else { "" };
+                    out.push_str(&format!(
+                        "{}osd.{item} weight {:.3}{state}\n",
+                        "  ".repeat(depth + 1),
+                        w as f64 / crate::WEIGHT_ONE as f64,
+                    ));
+                } else {
+                    self.dump_node(item, depth + 1, out);
+                }
+            }
+        }
+    }
+
+    /// The failure-domain bucket of type `t` containing device `dev`.
+    pub fn domain_of(&self, dev: DeviceId, t: u16) -> Option<BucketId> {
+        for (&id, b) in &self.buckets {
+            if b.bucket_type == t && self.subtree_devices(id).contains(&dev) {
+                return Some(id);
+            }
+        }
+        None
+    }
+}
+
+/// Convenience builder for the hierarchies used throughout the
+/// reproduction (and in the paper's testbed: one root, two storage
+/// servers, 16 OSDs each).
+#[derive(Debug)]
+pub struct MapBuilder {
+    alg: BucketAlg,
+    device_weight: u32,
+}
+
+impl Default for MapBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MapBuilder {
+    /// Builder with straw2 buckets and unit device weights.
+    pub fn new() -> Self {
+        MapBuilder {
+            alg: BucketAlg::Straw2,
+            device_weight: crate::WEIGHT_ONE,
+        }
+    }
+
+    /// Use a different bucket algorithm for *host* buckets (the root stays
+    /// straw2, mirroring the paper's static-region Straw2 + DFX-swappable
+    /// host-level accelerators).
+    pub fn host_alg(mut self, alg: BucketAlg) -> Self {
+        self.alg = alg;
+        self
+    }
+
+    /// Uniform device weight.
+    pub fn device_weight(mut self, w: u32) -> Self {
+        self.device_weight = w;
+        self
+    }
+
+    /// Build a three-level hierarchy: `racks × hosts_per_rack ×
+    /// per_host` devices under one root (types: 0 = osd, 1 = host,
+    /// 2 = rack, 3 = root).  Rule 0 places replicas in distinct racks
+    /// via an explicit two-step descent (`choose` racks, then
+    /// `chooseleaf` hosts) — the rule shape larger Ceph clusters use.
+    pub fn build_racks(self, racks: usize, hosts_per_rack: usize, per_host: usize) -> CrushMap {
+        assert!(racks > 0 && hosts_per_rack > 0 && per_host > 0);
+        let mut map = CrushMap::new();
+        let mut rack_ids = Vec::with_capacity(racks);
+        let mut rack_weights = Vec::with_capacity(racks);
+        let mut next_bucket = -2i32;
+        for r in 0..racks {
+            let mut host_ids = Vec::with_capacity(hosts_per_rack);
+            let host_weight = self.device_weight * per_host as u32;
+            for h in 0..hosts_per_rack {
+                let host_idx = r * hosts_per_rack + h;
+                let id = next_bucket;
+                next_bucket -= 1;
+                let devs: Vec<i32> = (0..per_host)
+                    .map(|d| (host_idx * per_host + d) as i32)
+                    .collect();
+                map.add_bucket(Bucket::new(
+                    id,
+                    self.alg,
+                    1,
+                    devs,
+                    vec![self.device_weight; per_host],
+                ));
+                host_ids.push(id);
+            }
+            let rack_id = next_bucket;
+            next_bucket -= 1;
+            let weights = vec![host_weight; hosts_per_rack];
+            map.add_bucket(Bucket::new(rack_id, BucketAlg::Straw2, 2, host_ids, weights));
+            rack_ids.push(rack_id);
+            rack_weights.push(host_weight * hosts_per_rack as u32);
+        }
+        map.add_bucket(Bucket::new(-1, BucketAlg::Straw2, 3, rack_ids, rack_weights));
+        map.add_rule(Rule {
+            id: 0,
+            name: "replicated-rack".into(),
+            steps: vec![
+                RuleStep::Take(-1),
+                RuleStep::Choose { num: 0, bucket_type: 2 },
+                RuleStep::ChooseLeaf { num: 1, bucket_type: 1 },
+                RuleStep::Emit,
+            ],
+        });
+        map
+    }
+
+    /// Build `hosts × per_host` devices under one root.
+    ///
+    /// Bucket types: 0 = osd (devices), 1 = host, 2 = root.
+    /// Bucket ids: root = -1, host h = -(2 + h).
+    /// Device ids: 0..hosts*per_host.
+    ///
+    /// Rule 0 (replicated, domain = host) and rule 1 (erasure, domain =
+    /// host) are pre-registered.
+    pub fn build(self, hosts: usize, per_host: usize) -> CrushMap {
+        assert!(hosts > 0 && per_host > 0);
+        let mut map = CrushMap::new();
+        let mut host_ids = Vec::with_capacity(hosts);
+        let mut host_weights = Vec::with_capacity(hosts);
+        for h in 0..hosts {
+            let id = -(2 + h as i32);
+            let devs: Vec<i32> = (0..per_host).map(|d| (h * per_host + d) as i32).collect();
+            let weights = vec![self.device_weight; per_host];
+            map.add_bucket(Bucket::new(id, self.alg, 1, devs, weights));
+            host_ids.push(id);
+            host_weights.push(self.device_weight * per_host as u32);
+        }
+        map.add_bucket(Bucket::new(-1, BucketAlg::Straw2, 2, host_ids, host_weights));
+        map.add_rule(Rule::replicated(0, -1, 1));
+        map.add_rule(Rule::erasure(1, -1, 1));
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// The paper's testbed: 2 servers × 16 OSDs = 32 OSDs.
+    fn paper_map() -> CrushMap {
+        MapBuilder::new().build(2, 16)
+    }
+
+    /// A larger map so 3-replica placement has ≥3 failure domains.
+    fn wide_map() -> CrushMap {
+        MapBuilder::new().build(8, 4)
+    }
+
+    #[test]
+    fn builder_shape() {
+        let m = paper_map();
+        assert_eq!(m.num_devices(), 32);
+        assert_eq!(m.subtree_devices(-1).len(), 32);
+        assert_eq!(m.subtree_devices(-2).len(), 16);
+        assert!(m.rule(0).is_some());
+        assert!(m.rule(1).is_some());
+    }
+
+    #[test]
+    fn do_rule_deterministic() {
+        let m = wide_map();
+        for x in 0..200 {
+            assert_eq!(m.do_rule(0, x, 3), m.do_rule(0, x, 3));
+        }
+    }
+
+    #[test]
+    fn replicas_are_distinct_devices_and_domains() {
+        let m = wide_map();
+        for x in 0..2_000u32 {
+            let devs = m.do_rule(0, x, 3);
+            assert_eq!(devs.len(), 3, "x={x}: {devs:?}");
+            let mut d = devs.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), 3, "duplicate devices for x={x}: {devs:?}");
+            // Distinct hosts (failure domains).
+            let hosts: Vec<_> = devs.iter().map(|&dev| m.domain_of(dev, 1).unwrap()).collect();
+            let mut h = hosts.clone();
+            h.sort_unstable();
+            h.dedup();
+            assert_eq!(h.len(), 3, "replicas share a host for x={x}: {hosts:?}");
+        }
+    }
+
+    #[test]
+    fn two_domains_cap_replica_count() {
+        // The paper's own 2-server cluster can host at most 2
+        // host-disjoint replicas; CRUSH must degrade gracefully.
+        let m = paper_map();
+        for x in 0..200u32 {
+            let devs = m.do_rule(0, x, 3);
+            assert!(devs.len() <= 2, "x={x}: {devs:?}");
+            assert_eq!(devs.len(), 2, "should place 2 of 3 replicas");
+        }
+    }
+
+    #[test]
+    fn ec_rule_places_k_plus_m() {
+        let m = wide_map();
+        for x in 0..500u32 {
+            let devs = m.do_rule(1, x, 6); // k=4, m=2
+            assert_eq!(devs.len(), 6, "x={x}: {devs:?}");
+        }
+    }
+
+    #[test]
+    fn placement_balances_across_devices() {
+        let m = wide_map();
+        let mut counts: HashMap<i32, u32> = HashMap::new();
+        let trials = 4_000u32;
+        for x in 0..trials {
+            for d in m.do_rule(0, x, 3) {
+                *counts.entry(d).or_insert(0) += 1;
+            }
+        }
+        let expect = (trials * 3) as f64 / 32.0;
+        for (&dev, &c) in &counts {
+            let dev_frac = (c as f64 - expect) / expect;
+            assert!(
+                dev_frac.abs() < 0.30,
+                "device {dev}: {c} vs expected {expect:.0}"
+            );
+        }
+        assert_eq!(counts.len(), 32, "all devices used");
+    }
+
+    #[test]
+    fn failed_device_excluded_and_placement_stable() {
+        let mut m = wide_map();
+        let before: Vec<_> = (0..2_000u32).map(|x| m.do_rule(0, x, 3)).collect();
+        m.mark_out(5);
+        let after: Vec<_> = (0..2_000u32).map(|x| m.do_rule(0, x, 3)).collect();
+        let mut remapped = 0;
+        for (b, a) in before.iter().zip(after.iter()) {
+            assert!(!a.contains(&5), "failed device still selected");
+            if b != a {
+                remapped += 1;
+                assert!(b.contains(&5), "mapping changed without involving osd.5");
+            }
+        }
+        // Roughly 3/32 of inputs should touch osd.5.
+        let frac = remapped as f64 / 2_000.0;
+        assert!((0.02..0.2).contains(&frac), "remap fraction {frac}");
+    }
+
+    #[test]
+    fn mark_in_restores_original_placement() {
+        let mut m = wide_map();
+        let before: Vec<_> = (0..500u32).map(|x| m.do_rule(0, x, 3)).collect();
+        m.mark_out(9);
+        m.mark_in(9);
+        let after: Vec<_> = (0..500u32).map(|x| m.do_rule(0, x, 3)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn each_host_alg_yields_valid_placement() {
+        for alg in [
+            BucketAlg::Uniform,
+            BucketAlg::List,
+            BucketAlg::Tree,
+            BucketAlg::Straw,
+            BucketAlg::Straw2,
+        ] {
+            let m = MapBuilder::new().host_alg(alg).build(8, 4);
+            for x in 0..300u32 {
+                let devs = m.do_rule(0, x, 3);
+                assert_eq!(devs.len(), 3, "{alg:?} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_expansion_moves_limited_data() {
+        // Adding a host to the root (straw2) should move roughly
+        // new/total share of placements — the property DFX exploits when
+        // swapping accelerators as the cluster grows.
+        let m8 = MapBuilder::new().build(8, 4);
+        let mut m9 = MapBuilder::new().build(8, 4);
+        // Add host -10 with 4 devices 32..36.
+        let devs: Vec<i32> = (32..36).collect();
+        m9.add_bucket(Bucket::new(
+            -10,
+            BucketAlg::Straw2,
+            1,
+            devs,
+            vec![crate::WEIGHT_ONE; 4],
+        ));
+        m9.bucket_mut(-1)
+            .unwrap()
+            .add_item(-10, crate::WEIGHT_ONE * 4);
+
+        let trials = 2_000u32;
+        let mut moved = 0;
+        for x in 0..trials {
+            let a = m8.do_rule(0, x, 3);
+            let b = m9.do_rule(0, x, 3);
+            let same = a.iter().filter(|d| b.contains(d)).count();
+            moved += 3 - same;
+        }
+        let frac = moved as f64 / (3.0 * trials as f64);
+        // Ideal movement = 1/9 ≈ 0.11; allow generous slack for the
+        // domain-collision rejection cascades.
+        assert!(frac < 0.30, "moved fraction {frac}");
+        assert!(frac > 0.03, "expansion moved nothing? {frac}");
+    }
+
+    #[test]
+    fn domain_of_finds_host() {
+        let m = paper_map();
+        assert_eq!(m.domain_of(0, 1), Some(-2));
+        assert_eq!(m.domain_of(16, 1), Some(-3));
+        assert_eq!(m.domain_of(99, 1), None);
+    }
+
+    #[test]
+    fn rack_hierarchy_places_across_racks() {
+        // 4 racks × 2 hosts × 4 osds = 32 devices.
+        let m = MapBuilder::new().build_racks(4, 2, 4);
+        assert_eq!(m.num_devices(), 32);
+        for x in 0..1_500u32 {
+            let devs = m.do_rule(0, x, 3);
+            assert_eq!(devs.len(), 3, "x={x}: {devs:?}");
+            // Distinct racks: rack of dev = dev / 8.
+            let mut racks: Vec<i32> = devs.iter().map(|d| d / 8).collect();
+            racks.sort_unstable();
+            racks.dedup();
+            assert_eq!(racks.len(), 3, "x={x} racks not disjoint: {devs:?}");
+        }
+    }
+
+    #[test]
+    fn rack_hierarchy_balances() {
+        let m = MapBuilder::new().build_racks(3, 3, 3);
+        let mut counts = std::collections::HashMap::new();
+        for x in 0..6_000u32 {
+            for d in m.do_rule(0, x, 3) {
+                *counts.entry(d).or_insert(0u32) += 1;
+            }
+        }
+        assert_eq!(counts.len(), 27, "all devices used");
+        let expect = 6_000.0 * 3.0 / 27.0;
+        for (&d, &c) in &counts {
+            assert!(
+                (c as f64 - expect).abs() / expect < 0.35,
+                "device {d}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn dump_renders_whole_hierarchy() {
+        let mut m = paper_map();
+        m.mark_out(5);
+        let d = m.dump();
+        assert!(d.contains("bucket -1 type 2 alg straw2"));
+        assert!(d.contains("bucket -2 type 1"));
+        assert!(d.contains("osd.0 weight 1.000"));
+        assert!(d.contains("osd.31"));
+        assert!(d.contains("osd.5 weight 1.000 (out)"));
+        // 32 OSD lines + 3 bucket lines.
+        assert_eq!(d.lines().count(), 35);
+    }
+
+    #[test]
+    fn unknown_rule_returns_empty() {
+        let m = paper_map();
+        assert!(m.do_rule(42, 1, 3).is_empty());
+    }
+}

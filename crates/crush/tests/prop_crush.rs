@@ -1,0 +1,123 @@
+//! Property tests for CRUSH: determinism, validity and stability of
+//! placement under arbitrary cluster shapes.
+
+use deliba_crush::{BucketAlg, MapBuilder, WEIGHT_ONE};
+use proptest::prelude::*;
+
+fn algs() -> impl Strategy<Value = BucketAlg> {
+    prop_oneof![
+        Just(BucketAlg::Uniform),
+        Just(BucketAlg::List),
+        Just(BucketAlg::Tree),
+        Just(BucketAlg::Straw),
+        Just(BucketAlg::Straw2),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn placement_valid_for_any_cluster_shape(
+        hosts in 3usize..12,
+        per_host in 1usize..8,
+        alg in algs(),
+        xs in proptest::collection::vec(any::<u32>(), 1..50),
+    ) {
+        let map = MapBuilder::new().host_alg(alg).build(hosts, per_host);
+        let replicas = 3.min(hosts);
+        for &x in &xs {
+            let devs = map.do_rule(0, x, replicas);
+            prop_assert_eq!(devs.len(), replicas, "x={} alg={:?}", x, alg);
+            // Distinct devices.
+            let mut d = devs.clone();
+            d.sort_unstable();
+            d.dedup();
+            prop_assert_eq!(d.len(), replicas);
+            // All in range.
+            for dev in devs {
+                prop_assert!((dev as usize) < hosts * per_host);
+            }
+        }
+    }
+
+    #[test]
+    fn placement_is_pure(
+        hosts in 3usize..8,
+        per_host in 1usize..6,
+        x in any::<u32>(),
+    ) {
+        let m1 = MapBuilder::new().build(hosts, per_host);
+        let m2 = MapBuilder::new().build(hosts, per_host);
+        prop_assert_eq!(m1.do_rule(0, x, 3), m2.do_rule(0, x, 3));
+    }
+
+    #[test]
+    fn failure_only_remaps_affected_inputs(
+        dead in 0i32..32,
+        xs in proptest::collection::vec(any::<u32>(), 1..80),
+    ) {
+        let mut map = MapBuilder::new().build(8, 4);
+        let before: Vec<_> = xs.iter().map(|&x| map.do_rule(0, x, 3)).collect();
+        map.mark_out(dead);
+        for (&x, b) in xs.iter().zip(&before) {
+            let a = map.do_rule(0, x, 3);
+            prop_assert!(!a.contains(&dead));
+            if !b.contains(&dead) {
+                prop_assert_eq!(&a, b, "x={} remapped without touching dead osd", x);
+            }
+        }
+    }
+
+    #[test]
+    fn reweight_to_zero_equivalent_to_out_for_new_writes(
+        xs in proptest::collection::vec(any::<u32>(), 1..40),
+    ) {
+        // Draining osd.3 via weight 0 must keep it out of all placements.
+        let mut map = MapBuilder::new().build(8, 4);
+        let host = map.domain_of(3, 1).unwrap();
+        map.bucket_mut(host).unwrap().reweight_item(3, 0);
+        for &x in &xs {
+            let devs = map.do_rule(0, x, 3);
+            prop_assert!(!devs.contains(&3));
+            prop_assert_eq!(devs.len(), 3);
+        }
+    }
+
+    #[test]
+    fn ec_width_respected(
+        x in any::<u32>(),
+        km in 2usize..9,
+    ) {
+        let map = MapBuilder::new().build(10, 4);
+        let devs = map.do_rule(1, x, km);
+        prop_assert_eq!(devs.len(), km);
+        let mut d = devs.clone();
+        d.sort_unstable();
+        d.dedup();
+        prop_assert_eq!(d.len(), km);
+    }
+
+    #[test]
+    fn heavier_host_attracts_more_placements(
+        factor in 2u32..5,
+    ) {
+        let mut map = MapBuilder::new().build(8, 4);
+        map.bucket_mut(-1).unwrap().reweight_item(-2, factor * 4 * WEIGHT_ONE);
+        let trials = 6_000u32;
+        let mut host0 = 0u32;
+        let mut total = 0u32;
+        for x in 0..trials {
+            for dev in map.do_rule(0, x, 1) {
+                total += 1;
+                if (0..4).contains(&dev) {
+                    host0 += 1;
+                }
+            }
+        }
+        let got = host0 as f64 / total as f64;
+        let expect = factor as f64 / (factor as f64 + 7.0);
+        prop_assert!((got - expect).abs() < 0.05,
+            "host0 share {} vs expected {}", got, expect);
+    }
+}

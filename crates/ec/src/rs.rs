@@ -1,0 +1,335 @@
+//! Systematic Reed-Solomon erasure codes: RS(k, m).
+//!
+//! The DeLiBA-K evaluation uses Ceph's default-style EC profile with
+//! k = 4 data chunks and m = 2 parity chunks (the reproduction's default;
+//! any `k + m ≤ 255` works).  Encoding multiplies the data-chunk vector
+//! by the systematic encoding matrix; reconstruction inverts the rows
+//! corresponding to the surviving chunks.
+
+use crate::gf256::{mul_slice_xor, Gf256};
+use crate::matrix::Matrix;
+
+/// Erasure-coding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcError {
+    /// Fewer than `k` chunks survive — reconstruction impossible.
+    TooFewChunks {
+        /// Surviving chunk count.
+        have: usize,
+        /// Required chunk count (k).
+        need: usize,
+    },
+    /// Chunk length mismatch between provided shards.
+    ShardSizeMismatch,
+    /// Wrong number of shard slots supplied.
+    WrongShardCount {
+        /// Slots provided.
+        got: usize,
+        /// Slots expected (k + m).
+        want: usize,
+    },
+}
+
+impl std::fmt::Display for EcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EcError::TooFewChunks { have, need } => {
+                write!(f, "too few chunks: have {have}, need {need}")
+            }
+            EcError::ShardSizeMismatch => write!(f, "shard size mismatch"),
+            EcError::WrongShardCount { got, want } => {
+                write!(f, "wrong shard count: got {got}, want {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EcError {}
+
+/// A systematic RS(k, m) codec.
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    k: usize,
+    m: usize,
+    encoding: Matrix,
+}
+
+impl ReedSolomon {
+    /// Create a codec for `k` data and `m` parity chunks.
+    ///
+    /// # Panics
+    /// Panics unless `k ≥ 1`, `m ≥ 1`, `k + m ≤ 255`.
+    pub fn new(k: usize, m: usize) -> Self {
+        let encoding = Matrix::systematic_encoding(k, m);
+        ReedSolomon { k, m, encoding }
+    }
+
+    /// Data chunk count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Parity chunk count.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Total shards (k + m).
+    pub fn shards(&self) -> usize {
+        self.k + self.m
+    }
+
+    /// Storage expansion factor (k + m) / k.
+    pub fn overhead(&self) -> f64 {
+        (self.k + self.m) as f64 / self.k as f64
+    }
+
+    /// Split `data` into `k` equal chunks (zero-padding the tail) and
+    /// append `m` parity chunks.  Returns `k + m` shards of equal length.
+    pub fn encode(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        let chunk_len = data.len().div_ceil(self.k).max(1);
+        let mut shards: Vec<Vec<u8>> = Vec::with_capacity(self.shards());
+        for i in 0..self.k {
+            let start = (i * chunk_len).min(data.len());
+            let end = ((i + 1) * chunk_len).min(data.len());
+            let mut chunk = data[start..end].to_vec();
+            chunk.resize(chunk_len, 0);
+            shards.push(chunk);
+        }
+        let parity = self.encode_parity(&shards);
+        shards.extend(parity);
+        shards
+    }
+
+    /// Compute the `m` parity shards for `k` equal-length data shards.
+    pub fn encode_parity(&self, data_shards: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        assert_eq!(data_shards.len(), self.k, "need exactly k data shards");
+        let len = data_shards[0].len();
+        assert!(
+            data_shards.iter().all(|s| s.len() == len),
+            "data shards must be equal length"
+        );
+        let mut parity = vec![vec![0u8; len]; self.m];
+        for (p, out) in parity.iter_mut().enumerate() {
+            let row = self.k + p;
+            for (c, shard) in data_shards.iter().enumerate() {
+                mul_slice_xor(self.encoding.get(row, c), shard, out);
+            }
+        }
+        parity
+    }
+
+    /// Number of bytes of parity produced per `data_bytes` of input —
+    /// used by the network model to size EC write fan-out.
+    pub fn parity_bytes(&self, data_bytes: u64) -> u64 {
+        let chunk = data_bytes.div_ceil(self.k as u64);
+        chunk * self.m as u64
+    }
+
+    /// Reconstruct the original data shards from any `k` surviving
+    /// shards.  `shards[i] = None` marks an erasure.  On success, the
+    /// erased *data* shards are filled in (parity shards are left as
+    /// provided; call [`ReedSolomon::encode_parity`] to rebuild them).
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+        if shards.len() != self.shards() {
+            return Err(EcError::WrongShardCount {
+                got: shards.len(),
+                want: self.shards(),
+            });
+        }
+        let present: Vec<usize> = shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i))
+            .collect();
+        if present.len() < self.k {
+            return Err(EcError::TooFewChunks {
+                have: present.len(),
+                need: self.k,
+            });
+        }
+        let len = shards[present[0]].as_ref().unwrap().len();
+        if present
+            .iter()
+            .any(|&i| shards[i].as_ref().unwrap().len() != len)
+        {
+            return Err(EcError::ShardSizeMismatch);
+        }
+        // Fast path: all data shards already present.
+        if (0..self.k).all(|i| shards[i].is_some()) {
+            return Ok(());
+        }
+        // Build the decode matrix from the first k surviving rows.
+        let rows: Vec<usize> = present.iter().take(self.k).copied().collect();
+        let sub = self.encoding.select_rows(&rows);
+        let inv = sub
+            .invert()
+            .expect("MDS property: any k encoding rows are invertible");
+
+        // data[c] = Σ inv[c][j] · shard[rows[j]]
+        let mut recovered: Vec<(usize, Vec<u8>)> = Vec::new();
+        for c in 0..self.k {
+            if shards[c].is_some() {
+                continue;
+            }
+            let mut out = vec![0u8; len];
+            for (j, &r) in rows.iter().enumerate() {
+                let coef = inv.get(c, j);
+                mul_slice_xor(coef, shards[r].as_ref().unwrap(), &mut out);
+            }
+            recovered.push((c, out));
+        }
+        for (c, data) in recovered {
+            shards[c] = Some(data);
+        }
+        Ok(())
+    }
+
+    /// Join `k` data shards back into a byte vector of `original_len`.
+    pub fn join(&self, shards: &[Option<Vec<u8>>], original_len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(original_len);
+        for shard in shards.iter().take(self.k) {
+            let s = shard.as_ref().expect("data shard missing after reconstruct");
+            out.extend_from_slice(s);
+        }
+        out.truncate(original_len);
+        out
+    }
+
+    /// Coefficient of the encoding matrix (exposed for the FPGA model's
+    /// verification of its BRAM coefficient store).
+    pub fn coefficient(&self, row: usize, col: usize) -> Gf256 {
+        self.encoding.get(row, col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 + 7) as u8).collect()
+    }
+
+    #[test]
+    fn encode_shapes() {
+        let rs = ReedSolomon::new(4, 2);
+        let shards = rs.encode(&sample_data(4096));
+        assert_eq!(shards.len(), 6);
+        assert!(shards.iter().all(|s| s.len() == 1024));
+        assert_eq!(rs.overhead(), 1.5);
+        assert_eq!(rs.parity_bytes(4096), 2048);
+    }
+
+    #[test]
+    fn encode_pads_uneven_data() {
+        let rs = ReedSolomon::new(4, 2);
+        let shards = rs.encode(&sample_data(1000)); // not divisible by 4
+        assert_eq!(shards[0].len(), 250);
+        let mut opt: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        rs.reconstruct(&mut opt).unwrap();
+        assert_eq!(rs.join(&opt, 1000), sample_data(1000));
+    }
+
+    #[test]
+    fn round_trip_no_erasures() {
+        let rs = ReedSolomon::new(4, 2);
+        let data = sample_data(8192);
+        let shards = rs.encode(&data);
+        let mut opt: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        rs.reconstruct(&mut opt).unwrap();
+        assert_eq!(rs.join(&opt, data.len()), data);
+    }
+
+    #[test]
+    fn recovers_from_any_m_erasures() {
+        let (k, m) = (4usize, 2usize);
+        let rs = ReedSolomon::new(k, m);
+        let data = sample_data(4096);
+        let shards = rs.encode(&data);
+        // All C(6,2) = 15 double-erasure patterns.
+        for a in 0..k + m {
+            for b in (a + 1)..k + m {
+                let mut opt: Vec<Option<Vec<u8>>> =
+                    shards.iter().cloned().map(Some).collect();
+                opt[a] = None;
+                opt[b] = None;
+                rs.reconstruct(&mut opt)
+                    .unwrap_or_else(|e| panic!("erasures ({a},{b}): {e}"));
+                assert_eq!(rs.join(&opt, data.len()), data, "erasures ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn m_plus_one_erasures_fail() {
+        let rs = ReedSolomon::new(4, 2);
+        let shards = rs.encode(&sample_data(4096));
+        let mut opt: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        opt[0] = None;
+        opt[2] = None;
+        opt[5] = None;
+        assert_eq!(
+            rs.reconstruct(&mut opt),
+            Err(EcError::TooFewChunks { have: 3, need: 4 })
+        );
+    }
+
+    #[test]
+    fn wrong_shard_count_rejected() {
+        let rs = ReedSolomon::new(4, 2);
+        let mut opt: Vec<Option<Vec<u8>>> = vec![Some(vec![0u8; 8]); 5];
+        assert_eq!(
+            rs.reconstruct(&mut opt),
+            Err(EcError::WrongShardCount { got: 5, want: 6 })
+        );
+    }
+
+    #[test]
+    fn mismatched_shard_sizes_rejected() {
+        let rs = ReedSolomon::new(2, 1);
+        let mut opt = vec![Some(vec![0u8; 8]), Some(vec![0u8; 9]), None];
+        assert_eq!(rs.reconstruct(&mut opt), Err(EcError::ShardSizeMismatch));
+    }
+
+    #[test]
+    fn parity_rebuild_after_data_recovery() {
+        let rs = ReedSolomon::new(4, 2);
+        let data = sample_data(2048);
+        let shards = rs.encode(&data);
+        let mut opt: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+        opt[1] = None; // lose a data shard
+        opt[4] = None; // and a parity shard
+        rs.reconstruct(&mut opt).unwrap();
+        // Rebuild parity from recovered data and compare with original.
+        let data_shards: Vec<Vec<u8>> =
+            (0..4).map(|i| opt[i].clone().unwrap()).collect();
+        let parity = rs.encode_parity(&data_shards);
+        assert_eq!(parity[0], shards[4]);
+        assert_eq!(parity[1], shards[5]);
+    }
+
+    #[test]
+    fn various_k_m_profiles() {
+        for (k, m) in [(2, 1), (3, 2), (6, 3), (8, 4), (10, 4)] {
+            let rs = ReedSolomon::new(k, m);
+            let data = sample_data(997); // prime length exercises padding
+            let shards = rs.encode(&data);
+            let mut opt: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+            // Erase the first m shards.
+            for s in opt.iter_mut().take(m) {
+                *s = None;
+            }
+            rs.reconstruct(&mut opt).unwrap();
+            assert_eq!(rs.join(&opt, data.len()), data, "RS({k},{m})");
+        }
+    }
+
+    #[test]
+    fn empty_data_encodes() {
+        let rs = ReedSolomon::new(4, 2);
+        let shards = rs.encode(&[]);
+        assert_eq!(shards.len(), 6);
+        assert!(shards.iter().all(|s| s.len() == 1));
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # deliba-net — the 10 GbE network substrate
+//!
+//! The paper's testbed connects the client to two storage servers over a
+//! 10 GbE network measured at 9.8 Gb/s raw with iperf (§III-C1).  The
+//! crucial architectural difference between DeLiBA generations is *where
+//! the TCP/IP stack runs*:
+//!
+//! * DeLiBA-1: host-software TCP for the NBD control path, HLS TCP on
+//!   the FPGA data path;
+//! * DeLiBA-2: HLS-generated TCP/IP block on the FPGA;
+//! * DeLiBA-K: TX and RX paths re-written in Verilog RTL, clocked with
+//!   the 260 MHz CMAC (§IV-D) — lower per-packet latency and zero host
+//!   CPU per packet.
+//!
+//! Modules:
+//!
+//! * [`frame`] — Ethernet framing math: per-frame wire overhead,
+//!   standard (1518 B) and jumbo (9018 B) MTUs, segmentation;
+//! * [`tcp`] — the three stack models with per-segment latency and host
+//!   CPU cost;
+//! * [`link`] — a serializing 10 GbE pipe with propagation delay and
+//!   frame-overhead-aware goodput;
+//! * [`topology`] — the client ↔ servers star used by the cluster
+//!   substrate.
+
+pub mod frame;
+pub mod link;
+pub mod tcp;
+pub mod topology;
+
+pub use frame::{FrameConfig, JUMBO_MTU_FRAME, STANDARD_MTU_FRAME};
+pub use link::EthLink;
+pub use tcp::{TcpStack, TcpStackKind};
+pub use topology::Topology;

@@ -1,0 +1,166 @@
+//! CMAC port model.
+//!
+//! "In addition to the QDMA interface, the UIFD provides access to the
+//! CMAC block on the FPGA … in scenarios like network monitoring …
+//! where data volumes are small, [the system] may rely solely on the
+//! CMAC interface without needing the QDMA" (§III-B).  The CMAC runs at
+//! 260 MHz in DeLiBA-K (§IV-D).
+
+use bytes::Bytes;
+use std::collections::VecDeque;
+
+/// CMAC clock frequency in DeLiBA-K (§IV-D).
+pub const CMAC_FREQ_MHZ: u32 = 260;
+
+/// Minimum Ethernet frame (§IV-B: "the minimum packet length in
+/// DeLiBA-K is 64 bytes").
+pub const MIN_FRAME_BYTES: usize = 64;
+
+/// Maximum frame with jumbo support (§IV-B: up to 9018 B).
+pub const MAX_FRAME_BYTES: usize = 9018;
+
+/// Frame admission errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmacError {
+    /// Frame shorter than 64 bytes.
+    Runt,
+    /// Frame longer than the configured MTU+overhead.
+    Oversize,
+    /// Port is administratively down.
+    PortDown,
+}
+
+/// The CMAC port.
+#[derive(Debug)]
+pub struct Cmac {
+    enabled: bool,
+    max_frame: usize,
+    tx_frames: u64,
+    tx_bytes: u64,
+    rx_frames: u64,
+    rx_bytes: u64,
+    rx_fifo: VecDeque<Bytes>,
+}
+
+impl Default for Cmac {
+    fn default() -> Self {
+        Self::new(MAX_FRAME_BYTES)
+    }
+}
+
+impl Cmac {
+    /// Port with the given maximum frame size (1518 for standard
+    /// Ethernet, 9018 for jumbo — §IV-B).
+    pub fn new(max_frame: usize) -> Self {
+        assert!((MIN_FRAME_BYTES..=MAX_FRAME_BYTES).contains(&max_frame));
+        Cmac {
+            enabled: false,
+            max_frame,
+            tx_frames: 0,
+            tx_bytes: 0,
+            rx_frames: 0,
+            rx_bytes: 0,
+            rx_fifo: VecDeque::new(),
+        }
+    }
+
+    /// Bring the port up.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Take the port down.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Is the port up?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Transmit a frame.
+    pub fn tx(&mut self, frame: &[u8]) -> Result<(), CmacError> {
+        self.check(frame)?;
+        self.tx_frames += 1;
+        self.tx_bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Receive a frame into the RX FIFO.
+    pub fn rx(&mut self, frame: Bytes) -> Result<(), CmacError> {
+        self.check(&frame)?;
+        self.rx_frames += 1;
+        self.rx_bytes += frame.len() as u64;
+        self.rx_fifo.push_back(frame);
+        Ok(())
+    }
+
+    /// Pop a received frame.
+    pub fn pop_rx(&mut self) -> Option<Bytes> {
+        self.rx_fifo.pop_front()
+    }
+
+    fn check(&self, frame: &[u8]) -> Result<(), CmacError> {
+        if !self.enabled {
+            return Err(CmacError::PortDown);
+        }
+        if frame.len() < MIN_FRAME_BYTES {
+            return Err(CmacError::Runt);
+        }
+        if frame.len() > self.max_frame {
+            return Err(CmacError::Oversize);
+        }
+        Ok(())
+    }
+
+    /// (tx_frames, tx_bytes, rx_frames, rx_bytes).
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (self.tx_frames, self.tx_bytes, self.rx_frames, self.rx_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_down_rejects() {
+        let mut c = Cmac::default();
+        assert_eq!(c.tx(&[0; 64]), Err(CmacError::PortDown));
+        c.enable();
+        assert!(c.tx(&[0; 64]).is_ok());
+        c.disable();
+        assert_eq!(c.tx(&[0; 64]), Err(CmacError::PortDown));
+    }
+
+    #[test]
+    fn frame_size_policing() {
+        let mut c = Cmac::new(1518);
+        c.enable();
+        assert_eq!(c.tx(&[0; 63]), Err(CmacError::Runt));
+        assert!(c.tx(&[0; 64]).is_ok());
+        assert!(c.tx(&[0; 1518]).is_ok());
+        assert_eq!(c.tx(&[0; 1519]), Err(CmacError::Oversize));
+    }
+
+    #[test]
+    fn jumbo_configuration() {
+        let mut c = Cmac::new(9018);
+        c.enable();
+        assert!(c.tx(&[0; 9018]).is_ok());
+    }
+
+    #[test]
+    fn counters_and_rx_fifo() {
+        let mut c = Cmac::default();
+        c.enable();
+        c.tx(&[0; 100]).unwrap();
+        c.rx(Bytes::from(vec![1u8; 200])).unwrap();
+        c.rx(Bytes::from(vec![2u8; 300])).unwrap();
+        assert_eq!(c.counters(), (1, 100, 2, 500));
+        assert_eq!(c.pop_rx().unwrap().len(), 200);
+        assert_eq!(c.pop_rx().unwrap().len(), 300);
+        assert!(c.pop_rx().is_none());
+    }
+}

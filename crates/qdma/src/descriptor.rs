@@ -1,0 +1,230 @@
+//! 128-byte QDMA descriptors.
+//!
+//! "The descriptors are 128 bytes in size … The DE contains descriptors
+//! … that define the *five* main parameters of a DMA operation for both
+//! replication and erasure coding: Source Address, Destination Address,
+//! Length of Replicated or Encoded Data, Control Information, and Next
+//! Descriptor Pointer" (§IV-A).  The descriptor carries parameters only
+//! — never payload.
+
+/// Size of one descriptor on the wire/in UltraRAM.
+pub const DESCRIPTOR_BYTES: usize = 128;
+
+/// Aggregate descriptor budget: "the total length of all descriptors is
+/// less than 64 kB in our implementation" → at most 512 live descriptors.
+pub const DESCRIPTOR_RAM_BYTES: usize = 64 * 1024;
+
+/// Queue interface type: which accelerator consumes this queue's data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IfType {
+    /// CRUSH replication accelerator.
+    Replication,
+    /// Reed-Solomon erasure-coding accelerator.
+    ErasureCoding,
+}
+
+/// Control word of a descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DescControl {
+    /// Start-of-packet marker.
+    pub sop: bool,
+    /// End-of-packet marker.
+    pub eop: bool,
+    /// Which accelerator path this transfer feeds.
+    pub if_type: IfType,
+    /// Owning PCIe function (PF/VF index).
+    pub function: u16,
+    /// Generate a completion when done.
+    pub want_completion: bool,
+}
+
+impl DescControl {
+    fn encode(&self) -> u32 {
+        let mut w = 0u32;
+        if self.sop {
+            w |= 1;
+        }
+        if self.eop {
+            w |= 1 << 1;
+        }
+        if self.if_type == IfType::ErasureCoding {
+            w |= 1 << 2;
+        }
+        if self.want_completion {
+            w |= 1 << 3;
+        }
+        w |= (self.function as u32) << 16;
+        w
+    }
+
+    fn decode(w: u32) -> Self {
+        DescControl {
+            sop: w & 1 != 0,
+            eop: w & (1 << 1) != 0,
+            if_type: if w & (1 << 2) != 0 {
+                IfType::ErasureCoding
+            } else {
+                IfType::Replication
+            },
+            want_completion: w & (1 << 3) != 0,
+            function: (w >> 16) as u16,
+        }
+    }
+}
+
+/// One DMA descriptor (the five parameters of §IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Descriptor {
+    /// Source address (host address for H2C, card address for C2H).
+    pub src_addr: u64,
+    /// Destination address.
+    pub dst_addr: u64,
+    /// Transfer length in bytes.
+    pub len: u32,
+    /// Control information.
+    pub control: DescControl,
+    /// Next-descriptor pointer (NDP); 0 terminates a chain.
+    pub next: u64,
+    /// Opaque driver correlation token (carried through to the
+    /// completion entry; lives in the reserved descriptor area).
+    pub user: u64,
+}
+
+impl Descriptor {
+    /// Serialize into the 128-byte UltraRAM layout.  Fields occupy the
+    /// first 33 bytes; the remainder is reserved/zero (the real IP leaves
+    /// room for per-queue context).
+    pub fn encode(&self) -> [u8; DESCRIPTOR_BYTES] {
+        let mut b = [0u8; DESCRIPTOR_BYTES];
+        b[0..8].copy_from_slice(&self.src_addr.to_le_bytes());
+        b[8..16].copy_from_slice(&self.dst_addr.to_le_bytes());
+        b[16..20].copy_from_slice(&self.len.to_le_bytes());
+        b[20..24].copy_from_slice(&self.control.encode().to_le_bytes());
+        b[24..32].copy_from_slice(&self.next.to_le_bytes());
+        b[32..40].copy_from_slice(&self.user.to_le_bytes());
+        b
+    }
+
+    /// Parse a 128-byte descriptor image.
+    pub fn decode(b: &[u8; DESCRIPTOR_BYTES]) -> Self {
+        Descriptor {
+            src_addr: u64::from_le_bytes(b[0..8].try_into().unwrap()),
+            dst_addr: u64::from_le_bytes(b[8..16].try_into().unwrap()),
+            len: u32::from_le_bytes(b[16..20].try_into().unwrap()),
+            control: DescControl::decode(u32::from_le_bytes(b[20..24].try_into().unwrap())),
+            next: u64::from_le_bytes(b[24..32].try_into().unwrap()),
+            user: u64::from_le_bytes(b[32..40].try_into().unwrap()),
+        }
+    }
+
+    /// Convenience constructor for a single-descriptor H2C transfer.
+    pub fn h2c(src: u64, len: u32, if_type: IfType, function: u16) -> Self {
+        Descriptor {
+            src_addr: src,
+            dst_addr: 0,
+            len,
+            control: DescControl {
+                sop: true,
+                eop: true,
+                if_type,
+                function,
+                want_completion: true,
+            },
+            next: 0,
+            user: 0,
+        }
+    }
+
+    /// Set the correlation token (builder style).
+    pub fn with_user(mut self, user: u64) -> Self {
+        self.user = user;
+        self
+    }
+
+    /// Convenience constructor for a single-descriptor C2H transfer.
+    pub fn c2h(dst: u64, len: u32, if_type: IfType, function: u16) -> Self {
+        Descriptor {
+            src_addr: 0,
+            dst_addr: dst,
+            len,
+            control: DescControl {
+                sop: true,
+                eop: true,
+                if_type,
+                function,
+                want_completion: true,
+            },
+            next: 0,
+            user: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let d = Descriptor {
+            src_addr: 0xDEAD_BEEF_0000_1234,
+            dst_addr: 0x0123_4567_89AB_CDEF,
+            len: 128 * 1024,
+            control: DescControl {
+                sop: true,
+                eop: false,
+                if_type: IfType::ErasureCoding,
+                function: 37,
+                want_completion: true,
+            },
+            next: 0xFEED_F00D,
+            user: 0xAB,
+        };
+        let bytes = d.encode();
+        assert_eq!(bytes.len(), DESCRIPTOR_BYTES);
+        assert_eq!(Descriptor::decode(&bytes), d);
+    }
+
+    #[test]
+    fn control_bits_independent() {
+        for sop in [false, true] {
+            for eop in [false, true] {
+                for want in [false, true] {
+                    for if_type in [IfType::Replication, IfType::ErasureCoding] {
+                        let c = DescControl {
+                            sop,
+                            eop,
+                            if_type,
+                            function: 2047,
+                            want_completion: want,
+                        };
+                        assert_eq!(DescControl::decode(c.encode()), c);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reserved_tail_is_zero() {
+        let d = Descriptor::h2c(0x1000, 4096, IfType::Replication, 0);
+        let bytes = d.encode();
+        assert!(bytes[40..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn descriptor_budget_matches_paper() {
+        assert_eq!(DESCRIPTOR_RAM_BYTES / DESCRIPTOR_BYTES, 512);
+    }
+
+    #[test]
+    fn convenience_constructors() {
+        let h = Descriptor::h2c(0x4000, 4096, IfType::Replication, 1);
+        assert!(h.control.sop && h.control.eop && h.control.want_completion);
+        assert_eq!(h.src_addr, 0x4000);
+        assert_eq!(h.next, 0);
+        let c = Descriptor::c2h(0x8000, 512, IfType::ErasureCoding, 2);
+        assert_eq!(c.dst_addr, 0x8000);
+        assert_eq!(c.control.if_type, IfType::ErasureCoding);
+    }
+}

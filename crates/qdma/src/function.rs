@@ -1,0 +1,296 @@
+//! SR-IOV function management.
+//!
+//! "QDMA implements SR-IOV passthrough virtualization (thin hypervisor
+//! model) where the adapter exposes a separate virtual function (VF) for
+//! use by a virtual machine" (§III-B).  Queue sets are partitioned among
+//! physical functions (PFs, bare-metal tenants) and virtual functions
+//! (VFs, VM tenants); a function may only touch queues inside its own
+//! range — that is the isolation property the multi-tenancy requirement
+//! of §III rests on.
+
+use crate::queue::MAX_QUEUE_SETS;
+use std::collections::{BTreeMap, VecDeque};
+
+/// PCIe function identifier.
+pub type FunctionId = u16;
+
+/// Function flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FunctionKind {
+    /// Physical function (bare-metal host).
+    Physical,
+    /// Virtual function passed through to a VM, owned by a parent PF.
+    Virtual {
+        /// The parent physical function.
+        parent: FunctionId,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FuncInfo {
+    kind: FunctionKind,
+    qbase: u16,
+    qcount: u16,
+}
+
+/// Errors from function/queue administration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FunctionError {
+    /// Function id already registered.
+    DuplicateFunction,
+    /// Parent PF does not exist or is itself a VF.
+    BadParent,
+    /// Not enough queue-set space left.
+    OutOfQueues,
+    /// Unknown function.
+    UnknownFunction,
+}
+
+/// A VF→PF mailbox message (the QDMA control-plane channel a VM driver
+/// uses to request resources from the hypervisor-side PF driver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MailboxMsg {
+    /// VF asks for `count` additional queue sets.
+    RequestQueues {
+        /// Queues requested.
+        count: u16,
+    },
+    /// VF announces an orderly shutdown (queues may be reclaimed).
+    Shutdown,
+    /// VF heartbeat.
+    Hello,
+}
+
+/// The queue-set partition table.
+#[derive(Debug, Default)]
+pub struct FunctionMap {
+    funcs: BTreeMap<FunctionId, FuncInfo>,
+    next_qbase: u16,
+    /// Per-PF mailbox: (sender VF, message).
+    mailboxes: BTreeMap<FunctionId, VecDeque<(FunctionId, MailboxMsg)>>,
+}
+
+impl FunctionMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn allocate(&mut self, id: FunctionId, kind: FunctionKind, qcount: u16) -> Result<u16, FunctionError> {
+        if self.funcs.contains_key(&id) {
+            return Err(FunctionError::DuplicateFunction);
+        }
+        let end = self.next_qbase as usize + qcount as usize;
+        if end > MAX_QUEUE_SETS {
+            return Err(FunctionError::OutOfQueues);
+        }
+        let qbase = self.next_qbase;
+        self.funcs.insert(id, FuncInfo { kind, qbase, qcount });
+        self.next_qbase += qcount;
+        Ok(qbase)
+    }
+
+    /// Register a physical function with `qcount` queue sets; returns its
+    /// queue base.
+    pub fn add_pf(&mut self, id: FunctionId, qcount: u16) -> Result<u16, FunctionError> {
+        self.allocate(id, FunctionKind::Physical, qcount)
+    }
+
+    /// Register a virtual function under `parent`.
+    pub fn add_vf(&mut self, id: FunctionId, parent: FunctionId, qcount: u16) -> Result<u16, FunctionError> {
+        match self.funcs.get(&parent) {
+            Some(p) if p.kind == FunctionKind::Physical => {}
+            _ => return Err(FunctionError::BadParent),
+        }
+        self.allocate(id, FunctionKind::Virtual { parent }, qcount)
+    }
+
+    /// The function owning queue `qid`.
+    pub fn owner_of(&self, qid: u16) -> Option<FunctionId> {
+        self.funcs
+            .iter()
+            .find(|(_, f)| qid >= f.qbase && qid < f.qbase + f.qcount)
+            .map(|(&id, _)| id)
+    }
+
+    /// May `func` access queue `qid`?  (Strict ownership: a PF does not
+    /// reach into its VFs' queues — passthrough means the VM owns them.)
+    pub fn can_access(&self, func: FunctionId, qid: u16) -> bool {
+        self.owner_of(qid) == Some(func)
+    }
+
+    /// Queue range of a function.
+    pub fn queue_range(&self, func: FunctionId) -> Result<std::ops::Range<u16>, FunctionError> {
+        let f = self.funcs.get(&func).ok_or(FunctionError::UnknownFunction)?;
+        Ok(f.qbase..f.qbase + f.qcount)
+    }
+
+    /// Kind of a function.
+    pub fn kind(&self, func: FunctionId) -> Option<FunctionKind> {
+        self.funcs.get(&func).map(|f| f.kind)
+    }
+
+    /// Registered function count.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// True when no functions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Queue sets still unallocated.
+    pub fn free_queues(&self) -> usize {
+        MAX_QUEUE_SETS - self.next_qbase as usize
+    }
+
+    /// VF posts a mailbox message to its parent PF.
+    pub fn vf_post(&mut self, vf: FunctionId, msg: MailboxMsg) -> Result<(), FunctionError> {
+        let parent = match self.funcs.get(&vf).map(|f| f.kind) {
+            Some(FunctionKind::Virtual { parent }) => parent,
+            Some(FunctionKind::Physical) | None => return Err(FunctionError::UnknownFunction),
+        };
+        self.mailboxes
+            .entry(parent)
+            .or_default()
+            .push_back((vf, msg));
+        Ok(())
+    }
+
+    /// PF drains its mailbox.
+    pub fn pf_drain(&mut self, pf: FunctionId) -> Vec<(FunctionId, MailboxMsg)> {
+        self.mailboxes
+            .get_mut(&pf)
+            .map(|q| q.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// PF grants a VF's queue request: extends the VF's range from the
+    /// free pool (ranges are append-only, matching the hardware's
+    /// contiguous per-function allocation).
+    pub fn pf_grant_queues(&mut self, vf: FunctionId, count: u16) -> Result<u16, FunctionError> {
+        match self.funcs.get(&vf).map(|f| f.kind) {
+            Some(FunctionKind::Virtual { .. }) => {}
+            _ => return Err(FunctionError::UnknownFunction),
+        }
+        // Contiguity: only the function owning the top of the allocated
+        // space can grow in place; others would need a re-plan.
+        let f = self.funcs.get(&vf).expect("checked");
+        if f.qbase + f.qcount != self.next_qbase {
+            return Err(FunctionError::OutOfQueues);
+        }
+        if self.next_qbase as usize + count as usize > MAX_QUEUE_SETS {
+            return Err(FunctionError::OutOfQueues);
+        }
+        let base = self.next_qbase;
+        self.funcs.get_mut(&vf).expect("checked").qcount += count;
+        self.next_qbase += count;
+        Ok(base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pf_vf_allocation() {
+        let mut fm = FunctionMap::new();
+        assert_eq!(fm.add_pf(0, 512).unwrap(), 0);
+        assert_eq!(fm.add_vf(100, 0, 64).unwrap(), 512);
+        assert_eq!(fm.add_vf(101, 0, 64).unwrap(), 576);
+        assert_eq!(fm.len(), 3);
+        assert_eq!(fm.free_queues(), 2048 - 640);
+    }
+
+    #[test]
+    fn ownership_and_isolation() {
+        let mut fm = FunctionMap::new();
+        fm.add_pf(0, 100).unwrap();
+        fm.add_vf(7, 0, 50).unwrap();
+        assert_eq!(fm.owner_of(0), Some(0));
+        assert_eq!(fm.owner_of(99), Some(0));
+        assert_eq!(fm.owner_of(100), Some(7));
+        assert_eq!(fm.owner_of(149), Some(7));
+        assert_eq!(fm.owner_of(150), None);
+        assert!(fm.can_access(0, 42));
+        assert!(!fm.can_access(0, 120), "PF must not touch VF queues");
+        assert!(fm.can_access(7, 120));
+        assert!(!fm.can_access(7, 42), "VF must not touch PF queues");
+    }
+
+    #[test]
+    fn bad_parent_rejected() {
+        let mut fm = FunctionMap::new();
+        fm.add_pf(0, 10).unwrap();
+        fm.add_vf(1, 0, 10).unwrap();
+        assert_eq!(fm.add_vf(2, 99, 10), Err(FunctionError::BadParent));
+        assert_eq!(
+            fm.add_vf(3, 1, 10),
+            Err(FunctionError::BadParent),
+            "a VF cannot parent a VF"
+        );
+    }
+
+    #[test]
+    fn queue_space_exhaustion() {
+        let mut fm = FunctionMap::new();
+        fm.add_pf(0, 2000).unwrap();
+        assert_eq!(fm.add_pf(1, 100), Err(FunctionError::OutOfQueues));
+        assert_eq!(fm.add_pf(1, 48).unwrap(), 2000);
+        assert_eq!(fm.free_queues(), 0);
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        let mut fm = FunctionMap::new();
+        fm.add_pf(0, 10).unwrap();
+        assert_eq!(fm.add_pf(0, 10), Err(FunctionError::DuplicateFunction));
+    }
+
+    #[test]
+    fn mailbox_request_grant_cycle() {
+        let mut fm = FunctionMap::new();
+        fm.add_pf(0, 100).unwrap();
+        fm.add_vf(8, 0, 50).unwrap();
+        // VF asks for more queues.
+        fm.vf_post(8, MailboxMsg::Hello).unwrap();
+        fm.vf_post(8, MailboxMsg::RequestQueues { count: 25 }).unwrap();
+        let msgs = fm.pf_drain(0);
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(msgs[1], (8, MailboxMsg::RequestQueues { count: 25 }));
+        assert!(fm.pf_drain(0).is_empty(), "drained");
+        // PF grants: the VF's range grows contiguously.
+        let base = fm.pf_grant_queues(8, 25).unwrap();
+        assert_eq!(base, 150);
+        assert_eq!(fm.queue_range(8).unwrap(), 100..175);
+        assert!(fm.can_access(8, 174));
+    }
+
+    #[test]
+    fn mailbox_rejects_bad_senders_and_grants() {
+        let mut fm = FunctionMap::new();
+        fm.add_pf(0, 100).unwrap();
+        fm.add_vf(8, 0, 50).unwrap();
+        fm.add_vf(9, 0, 50).unwrap();
+        // PFs and unknown functions cannot post as VFs.
+        assert_eq!(fm.vf_post(0, MailboxMsg::Hello), Err(FunctionError::UnknownFunction));
+        assert_eq!(fm.vf_post(77, MailboxMsg::Hello), Err(FunctionError::UnknownFunction));
+        // VF 8 is no longer at the top of the space (VF 9 was added), so
+        // an in-place grow is refused.
+        assert_eq!(fm.pf_grant_queues(8, 10), Err(FunctionError::OutOfQueues));
+        // VF 9 can grow, but not past the hardware limit.
+        assert!(fm.pf_grant_queues(9, 10).is_ok());
+        assert_eq!(fm.pf_grant_queues(9, 3000), Err(FunctionError::OutOfQueues));
+    }
+
+    #[test]
+    fn queue_range_lookup() {
+        let mut fm = FunctionMap::new();
+        fm.add_pf(0, 16).unwrap();
+        assert_eq!(fm.queue_range(0).unwrap(), 0..16);
+        assert_eq!(fm.queue_range(9), Err(FunctionError::UnknownFunction));
+        assert_eq!(fm.kind(0), Some(FunctionKind::Physical));
+    }
+}

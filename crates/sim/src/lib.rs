@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # deliba-sim — deterministic discrete-event simulation substrate
+//!
+//! Every timing experiment in the DeLiBA-K reproduction runs on a virtual
+//! clock.  The paper's testbed (Alveo U280 behind PCIe Gen3 x16, a 10 GbE
+//! Ceph cluster with 32 OSDs, RHEL 9.4 client) is replaced by a
+//! discrete-event simulation so that results are exactly reproducible and
+//! independent of the host the reproduction runs on.
+//!
+//! The crate provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time;
+//! * [`EventQueue`] and [`Simulator`] — a deterministic event loop with
+//!   stable FIFO ordering for simultaneous events;
+//! * [`rng`] — small, fast, seedable PRNGs (`SplitMix64`, `Xoshiro256`)
+//!   used wherever the simulation needs randomness that must not depend on
+//!   platform or `std` hash ordering;
+//! * [`metrics`] — latency histograms, counters and summary statistics used
+//!   by the benchmark harness to print the paper's tables and figures;
+//! * [`resource`] — queueing-theory building blocks (single/multi servers,
+//!   bandwidth pipes, token buckets) shared by the network, OSD, PCIe and
+//!   host-CPU models.
+
+pub mod event;
+pub mod metrics;
+pub mod resource;
+pub mod rng;
+pub mod time;
+
+pub use event::{EventQueue, Simulator};
+pub use metrics::{Counter, Histogram, Summary};
+pub use resource::{Bandwidth, MultiServer, Server, TokenBucket};
+pub use rng::{SimRng, SplitMix64, Xoshiro256};
+pub use time::{SimDuration, SimTime};

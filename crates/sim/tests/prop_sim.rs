@@ -1,0 +1,103 @@
+//! Property tests for the simulation substrate: clock monotonicity,
+//! queueing-resource conservation, and histogram accuracy bounds.
+
+use deliba_sim::{Bandwidth, EventQueue, Histogram, Server, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Events always pop in nondecreasing time order, FIFO on ties.
+    #[test]
+    fn event_queue_monotone(
+        times in proptest::collection::vec(0u64..1_000, 1..200),
+    ) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let mut last_t = 0;
+        let mut last_seq_at_t = 0;
+        let mut popped = 0;
+        while let Some((t, idx)) = q.pop() {
+            prop_assert!(t.as_nanos() >= last_t);
+            if t.as_nanos() == last_t {
+                prop_assert!(idx > last_seq_at_t || popped == 0, "FIFO tie-break");
+            }
+            last_t = t.as_nanos();
+            last_seq_at_t = idx;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// A FIFO server never overlaps requests and never idles while work
+    /// is queued (work-conserving): total busy time == Σ service.
+    #[test]
+    fn server_work_conserving(
+        jobs in proptest::collection::vec((0u64..10_000, 1u64..1_000), 1..100),
+    ) {
+        let mut s = Server::new();
+        let mut jobs = jobs;
+        jobs.sort_by_key(|&(a, _)| a); // arrivals in time order
+        let mut total = 0u64;
+        let mut prev_finish = 0u64;
+        for (arrive, service) in jobs {
+            let (start, finish) = s.begin(
+                SimTime::from_nanos(arrive),
+                SimDuration::from_nanos(service),
+            );
+            // No overlap with the previous job, no start before arrival.
+            prop_assert!(start.as_nanos() >= arrive);
+            prop_assert!(start.as_nanos() >= prev_finish);
+            // Work conserving: starts exactly at max(arrival, prev end).
+            prop_assert_eq!(start.as_nanos(), arrive.max(prev_finish));
+            prop_assert_eq!(finish.as_nanos() - start.as_nanos(), service);
+            prev_finish = finish.as_nanos();
+            total += service;
+        }
+        prop_assert_eq!(s.busy_time().as_nanos(), total);
+    }
+
+    /// Bandwidth transfers conserve bytes and never beat the line rate.
+    #[test]
+    fn bandwidth_never_beats_line_rate(
+        transfers in proptest::collection::vec(1u64..100_000, 1..50),
+    ) {
+        let rate = 1e9; // 1 GB/s
+        let mut bw = Bandwidth::new(rate, SimDuration::ZERO);
+        let mut last = SimTime::ZERO;
+        let mut total = 0u64;
+        for &bytes in &transfers {
+            last = bw.transfer(SimTime::ZERO, bytes);
+            total += bytes;
+        }
+        prop_assert_eq!(bw.bytes_moved(), total);
+        let min_ns = (total as f64 / rate * 1e9).floor() as u64;
+        prop_assert!(last.as_nanos() + 1 >= min_ns,
+            "finished {} < physical minimum {}", last.as_nanos(), min_ns);
+    }
+
+    /// Histogram quantiles stay within the documented ~3.1 % relative
+    /// error for any sample set.
+    #[test]
+    fn histogram_error_bounded(
+        samples in proptest::collection::vec(1u64..1_000_000, 1..300),
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(SimDuration::from_nanos(s));
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let exact_max = *sorted.last().unwrap();
+        prop_assert_eq!(h.max_ns(), exact_max);
+        let exact_median = sorted[(sorted.len() - 1) / 2];
+        let got = h.quantile_ns(0.5);
+        let err = (got as f64 - exact_median as f64).abs() / exact_median as f64;
+        prop_assert!(err < 0.05, "median {} vs {} (err {})", got, exact_median, err);
+        // Mean is exact (tracked outside the buckets).
+        let exact_mean: f64 = samples.iter().map(|&s| s as f64).sum::<f64>() / samples.len() as f64;
+        prop_assert!((h.mean_ns() - exact_mean).abs() < 1e-6);
+    }
+}

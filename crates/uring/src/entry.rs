@@ -1,0 +1,179 @@
+//! Submission-queue and completion-queue entry layouts.
+//!
+//! Each SQE carries "the operation type (e.g., read, write), the file
+//! descriptor, a pointer to the buffer, the buffer length, and additional
+//! flags for fine-grained control" (paper §III-A).  In the reproduction
+//! the "pointer" is an index into the registered-buffer table
+//! ([`crate::BufRegistry`]) — the zero-copy fixed-buffer mechanism.
+
+/// I/O operation requested by an SQE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// No-op (used to measure pure ring overhead).
+    Nop,
+    /// Read `len` bytes at `offset` into the registered buffer.
+    Read,
+    /// Write `len` bytes at `offset` from the registered buffer.
+    Write,
+    /// Flush the device write cache.
+    Fsync,
+}
+
+/// SQE flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SqeFlags(pub u8);
+
+impl SqeFlags {
+    /// Use a registered (fixed) buffer — the zero-copy path.
+    pub const FIXED_BUFFER: SqeFlags = SqeFlags(1 << 0);
+    /// Link: this SQE must complete before the next one starts.
+    pub const IO_LINK: SqeFlags = SqeFlags(1 << 1);
+    /// Drain: wait for all prior SQEs before executing.
+    pub const IO_DRAIN: SqeFlags = SqeFlags(1 << 2);
+
+    /// Bitwise test.
+    pub fn contains(self, other: SqeFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Bitwise union.
+    pub fn union(self, other: SqeFlags) -> SqeFlags {
+        SqeFlags(self.0 | other.0)
+    }
+}
+
+/// A submission-queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sqe {
+    /// Operation.
+    pub opcode: Opcode,
+    /// Flag bits.
+    pub flags: SqeFlags,
+    /// Target file descriptor (the DeLiBA block device).
+    pub fd: i32,
+    /// Byte offset on the device.
+    pub offset: u64,
+    /// Index of the registered buffer holding/receiving the payload.
+    pub buf_index: u32,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// Opaque completion correlation token, echoed in the CQE.
+    pub user_data: u64,
+}
+
+impl Sqe {
+    /// A read SQE using a fixed buffer.
+    pub fn read(fd: i32, offset: u64, buf_index: u32, len: u32, user_data: u64) -> Self {
+        Sqe {
+            opcode: Opcode::Read,
+            flags: SqeFlags::FIXED_BUFFER,
+            fd,
+            offset,
+            buf_index,
+            len,
+            user_data,
+        }
+    }
+
+    /// A write SQE using a fixed buffer.
+    pub fn write(fd: i32, offset: u64, buf_index: u32, len: u32, user_data: u64) -> Self {
+        Sqe {
+            opcode: Opcode::Write,
+            flags: SqeFlags::FIXED_BUFFER,
+            fd,
+            offset,
+            buf_index,
+            len,
+            user_data,
+        }
+    }
+
+    /// A no-op SQE.
+    pub fn nop(user_data: u64) -> Self {
+        Sqe {
+            opcode: Opcode::Nop,
+            flags: SqeFlags::default(),
+            fd: -1,
+            offset: 0,
+            buf_index: 0,
+            len: 0,
+            user_data,
+        }
+    }
+}
+
+/// A completion-queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cqe {
+    /// The `user_data` of the originating SQE.
+    pub user_data: u64,
+    /// Bytes transferred (≥ 0) or negative errno.
+    pub result: i32,
+    /// Completion flags (reserved; kept for layout fidelity).
+    pub flags: u32,
+}
+
+impl Cqe {
+    /// Successful completion transferring `bytes`.
+    pub fn ok(user_data: u64, bytes: u32) -> Self {
+        Cqe {
+            user_data,
+            result: bytes as i32,
+            flags: 0,
+        }
+    }
+
+    /// Failed completion with errno-style code (stored negated).
+    pub fn err(user_data: u64, errno: i32) -> Self {
+        Cqe {
+            user_data,
+            result: -errno.abs(),
+            flags: 0,
+        }
+    }
+
+    /// True when the operation succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.result >= 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_fields() {
+        let r = Sqe::read(3, 4096, 7, 512, 42);
+        assert_eq!(r.opcode, Opcode::Read);
+        assert!(r.flags.contains(SqeFlags::FIXED_BUFFER));
+        assert_eq!((r.fd, r.offset, r.buf_index, r.len, r.user_data), (3, 4096, 7, 512, 42));
+
+        let w = Sqe::write(1, 0, 0, 128 * 1024, 1);
+        assert_eq!(w.opcode, Opcode::Write);
+
+        let n = Sqe::nop(9);
+        assert_eq!(n.opcode, Opcode::Nop);
+        assert_eq!(n.fd, -1);
+    }
+
+    #[test]
+    fn flags_bit_ops() {
+        let f = SqeFlags::FIXED_BUFFER.union(SqeFlags::IO_LINK);
+        assert!(f.contains(SqeFlags::FIXED_BUFFER));
+        assert!(f.contains(SqeFlags::IO_LINK));
+        assert!(!f.contains(SqeFlags::IO_DRAIN));
+    }
+
+    #[test]
+    fn cqe_success_and_error() {
+        let ok = Cqe::ok(5, 4096);
+        assert!(ok.is_ok());
+        assert_eq!(ok.result, 4096);
+        let err = Cqe::err(5, 5); // EIO
+        assert!(!err.is_ok());
+        assert_eq!(err.result, -5);
+        // Negated even if caller passes a negative errno.
+        assert_eq!(Cqe::err(5, -5).result, -5);
+    }
+}

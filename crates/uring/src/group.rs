@@ -1,0 +1,208 @@
+//! Multi-instance io_uring with per-core affinity.
+//!
+//! "DeLiBA-K takes this concept further by creating *multiple* io_uring
+//! instances … each instance independently operating its own SQs and
+//! CQs.  In \[the\] current implementation, DeLiBA-K uses 3 instances …
+//! a key decision was made to bind each io_uring instance … to a
+//! *specific* CPU core … through the CPU affinity mechanism
+//! (`sched_setaffinity`)." — paper §III-A.
+//!
+//! The group models that design: N instances, each pinned to a core;
+//! dispatch is either round-robin or by submitting core, and the pinning
+//! is what lets the DMQ layer align each instance with a dedicated
+//! hardware queue (§III-B).
+
+use crate::instance::{Completer, EnterResult, IoUring, RingMode, SetupError};
+use crate::entry::{Cqe, Sqe};
+
+/// A logical CPU core identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoreId(pub usize);
+
+/// The number of io_uring instances DeLiBA-K configures.
+pub const DELIBA_K_INSTANCES: usize = 3;
+
+/// A group of io_uring instances, one per pinned core.
+pub struct UringGroup {
+    instances: Vec<IoUring>,
+    affinity: Vec<CoreId>,
+    rr_next: usize,
+}
+
+impl UringGroup {
+    /// Create `cores.len()` instances, instance `i` pinned to `cores[i]`
+    /// (the `sched_setaffinity` step).
+    pub fn new(entries: u32, mode: RingMode, cores: &[CoreId]) -> Result<Self, SetupError> {
+        assert!(!cores.is_empty(), "need at least one core");
+        let mut instances = Vec::with_capacity(cores.len());
+        for _ in cores {
+            instances.push(IoUring::setup(entries, mode)?);
+        }
+        Ok(UringGroup {
+            instances,
+            affinity: cores.to_vec(),
+            rr_next: 0,
+        })
+    }
+
+    /// The paper's configuration: three kernel-polled instances on cores
+    /// 0, 1, 2.
+    pub fn deliba_k_default(entries: u32) -> Self {
+        let cores: Vec<CoreId> = (0..DELIBA_K_INSTANCES).map(CoreId).collect();
+        Self::new(entries, RingMode::KernelPolled, &cores)
+            .expect("non-zero entries")
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True when the group has no instances (cannot happen via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// The core an instance is pinned to.
+    pub fn core_of(&self, instance: usize) -> CoreId {
+        self.affinity[instance]
+    }
+
+    /// The instance pinned to `core`, if any.
+    pub fn instance_on(&self, core: CoreId) -> Option<usize> {
+        self.affinity.iter().position(|&c| c == core)
+    }
+
+    /// Direct access to an instance.
+    pub fn instance_mut(&mut self, i: usize) -> &mut IoUring {
+        &mut self.instances[i]
+    }
+
+    /// Immutable access to an instance.
+    pub fn instance(&self, i: usize) -> &IoUring {
+        &self.instances[i]
+    }
+
+    /// Queue an SQE on a specific instance.
+    pub fn prepare_on(&mut self, instance: usize, sqe: Sqe) -> bool {
+        self.instances[instance].prepare(sqe)
+    }
+
+    /// Queue an SQE round-robin across instances; returns the instance
+    /// used, or `None` if every SQ is full.
+    pub fn prepare_rr(&mut self, sqe: Sqe) -> Option<usize> {
+        for _ in 0..self.instances.len() {
+            let i = self.rr_next;
+            self.rr_next = (self.rr_next + 1) % self.instances.len();
+            if self.instances[i].prepare(sqe) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Drive every instance's kernel side once (one poller sweep).
+    pub fn enter_all(&mut self, completer: &mut dyn Completer) -> EnterResult {
+        let mut total = EnterResult::default();
+        for inst in &mut self.instances {
+            let r = inst.enter(completer);
+            total.submitted += r.submitted;
+            total.completed += r.completed;
+        }
+        total
+    }
+
+    /// Harvest completions from all instances.
+    pub fn reap_all(&mut self) -> Vec<(usize, Cqe)> {
+        let mut out = Vec::new();
+        for (i, inst) in self.instances.iter_mut().enumerate() {
+            while let Some(cqe) = inst.peek_cqe() {
+                out.push((i, cqe));
+            }
+        }
+        out
+    }
+
+    /// Aggregate submitted count.
+    pub fn total_submitted(&self) -> u64 {
+        self.instances.iter().map(|i| i.total_submitted()).sum()
+    }
+
+    /// Aggregate syscall count.
+    pub fn total_syscalls(&self) -> u64 {
+        self.instances.iter().map(|i| i.syscalls()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::BufRegistry;
+
+    fn echo() -> impl FnMut(&Sqe, &mut BufRegistry) -> Cqe {
+        |sqe: &Sqe, _: &mut BufRegistry| Cqe::ok(sqe.user_data, sqe.len)
+    }
+
+    #[test]
+    fn default_group_matches_paper_config() {
+        let g = UringGroup::deliba_k_default(64);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.core_of(0), CoreId(0));
+        assert_eq!(g.core_of(2), CoreId(2));
+        assert_eq!(g.instance(0).mode(), RingMode::KernelPolled);
+    }
+
+    #[test]
+    fn affinity_lookup() {
+        let g = UringGroup::new(8, RingMode::Polled, &[CoreId(4), CoreId(9)]).unwrap();
+        assert_eq!(g.instance_on(CoreId(9)), Some(1));
+        assert_eq!(g.instance_on(CoreId(5)), None);
+    }
+
+    #[test]
+    fn round_robin_spreads_load() {
+        let mut g = UringGroup::deliba_k_default(64);
+        for i in 0..9 {
+            let inst = g.prepare_rr(Sqe::nop(i)).unwrap();
+            assert_eq!(inst, (i % 3) as usize);
+        }
+        for i in 0..3 {
+            assert_eq!(g.instance(i).sq_pending(), 3);
+        }
+    }
+
+    #[test]
+    fn round_robin_skips_full_instances() {
+        let mut g = UringGroup::new(
+            2,
+            RingMode::Polled,
+            &[CoreId(0), CoreId(1)],
+        )
+        .unwrap();
+        // Fill instance 0 and 1 alternately: 2 slots each.
+        for i in 0..4 {
+            g.prepare_rr(Sqe::nop(i)).unwrap();
+        }
+        assert_eq!(g.prepare_rr(Sqe::nop(99)), None, "all SQs full");
+        g.enter_all(&mut echo());
+        assert!(g.prepare_rr(Sqe::nop(99)).is_some());
+    }
+
+    #[test]
+    fn enter_all_and_reap_all() {
+        let mut g = UringGroup::deliba_k_default(16);
+        for i in 0..12 {
+            g.prepare_rr(Sqe::read(0, i * 4096, 0, 4096, i)).unwrap();
+        }
+        let res = g.enter_all(&mut echo());
+        assert_eq!(res.submitted, 12);
+        let cqes = g.reap_all();
+        assert_eq!(cqes.len(), 12);
+        // Completions come back tagged with their instance.
+        for (inst, cqe) in &cqes {
+            assert_eq!(*inst as u64, cqe.user_data % 3);
+        }
+        assert_eq!(g.total_submitted(), 12);
+        assert_eq!(g.total_syscalls(), 0, "kernel-polled: no syscalls");
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the SPSC ring: FIFO order and conservation under
+//! arbitrary interleavings of pushes and pops.
+
+use deliba_uring::spsc;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any interleaving of pushes and pops preserves FIFO order and
+    /// loses nothing: popped ++ remaining == pushed-accepted.
+    #[test]
+    fn fifo_and_conservation(
+        capacity in 1usize..64,
+        ops in proptest::collection::vec(any::<bool>(), 1..400),
+    ) {
+        let (mut p, mut c) = spsc::ring::<u64>(capacity);
+        let mut accepted = Vec::new();
+        let mut popped = Vec::new();
+        let mut next = 0u64;
+        for push in ops {
+            if push {
+                if p.push(next).is_ok() {
+                    accepted.push(next);
+                }
+                next += 1;
+            } else if let Some(v) = c.pop() {
+                popped.push(v);
+            }
+        }
+        while let Some(v) = c.pop() {
+            popped.push(v);
+        }
+        prop_assert_eq!(popped, accepted, "FIFO order with no loss");
+    }
+
+    /// The ring never accepts more than its capacity between drains.
+    #[test]
+    fn capacity_respected(capacity in 1usize..64) {
+        let (mut p, _c) = spsc::ring::<u32>(capacity);
+        let mut accepted = 0;
+        while p.push(0).is_ok() {
+            accepted += 1;
+            prop_assert!(accepted <= 1024, "unbounded ring");
+        }
+        prop_assert_eq!(accepted, p.capacity());
+    }
+
+    /// Batched pops equal element-wise pops.
+    #[test]
+    fn pop_batch_equivalence(
+        n in 1usize..100,
+        batch in 1usize..32,
+    ) {
+        let (mut p1, mut c1) = spsc::ring::<usize>(128);
+        let (mut p2, mut c2) = spsc::ring::<usize>(128);
+        for i in 0..n.min(120) {
+            let _ = p1.push(i);
+            let _ = p2.push(i);
+        }
+        let mut a = Vec::new();
+        loop {
+            let b = c1.pop_batch(batch);
+            if b.is_empty() {
+                break;
+            }
+            a.extend(b);
+        }
+        let mut b = Vec::new();
+        while let Some(v) = c2.pop() {
+            b.push(v);
+        }
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # deliba-workload — workload generators
+//!
+//! The paper evaluates DeLiBA-K with two workload families (§III-C1):
+//!
+//! * synthetic fio microbenchmarks (seq/rand × read/write across block
+//!   sizes) — those live in `deliba-core::FioSpec`; this crate adds the
+//!   *mixed* read/write generator fio's `rw=randrw` mode provides;
+//! * "real-world applications and tasks that are part of a proprietary
+//!   test suite regularly used by data center users in the industrial
+//!   research lab": **OLAP** (analytical scans, bulk loads) and **OLTP**
+//!   (small random transactional I/O) — modeled here from their
+//!   published I/O characteristics, since the suite itself is
+//!   confidential.
+//!
+//! All generators emit per-job [`TraceOp`](deliba_core::engine::TraceOp)
+//! streams for
+//! [`Engine::run_trace`](deliba_core::Engine), including application
+//! *think time* so the real-world workloads are only partially I/O-bound
+//! (that is what makes the paper's ≈30 % end-to-end reduction, rather
+//! than the raw 2–3× I/O speedup, the right expectation).
+
+pub mod mixed;
+pub mod olap;
+pub mod oltp;
+pub mod trace;
+
+pub use mixed::MixedSpec;
+pub use olap::OlapSpec;
+pub use oltp::OltpSpec;
+pub use trace::{load_trace, save_trace};

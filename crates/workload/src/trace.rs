@@ -1,0 +1,109 @@
+//! Trace serialization: save/load per-job op streams as JSON lines.
+//!
+//! Lets an experiment recorded once (e.g. an anonymized I/O trace from a
+//! production system) be replayed bit-identically through any engine
+//! configuration.
+
+use deliba_core::engine::TraceOp;
+use serde::{Deserialize, Serialize};
+
+/// Serializable mirror of [`TraceOp`] (kept separate so the engine type
+/// stays dependency-free).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Job index.
+    pub job: u32,
+    /// Write flag.
+    pub write: bool,
+    /// Byte offset.
+    pub offset: u64,
+    /// Length.
+    pub len: u32,
+    /// Random-access flag.
+    pub random: bool,
+    /// Think time before the op, ns.
+    pub think_ns: u64,
+}
+
+/// Flatten per-job streams into records.
+pub fn save_trace(jobs: &[Vec<TraceOp>]) -> Vec<TraceRecord> {
+    jobs.iter()
+        .enumerate()
+        .flat_map(|(j, ops)| {
+            ops.iter().map(move |op| TraceRecord {
+                job: j as u32,
+                write: op.write,
+                offset: op.offset,
+                len: op.len,
+                random: op.random,
+                think_ns: op.think_ns,
+            })
+        })
+        .collect()
+}
+
+/// Rebuild per-job streams from records (jobs are indexed densely from
+/// the maximum job id present).
+pub fn load_trace(records: &[TraceRecord]) -> Vec<Vec<TraceOp>> {
+    let jobs = records.iter().map(|r| r.job).max().map(|m| m + 1).unwrap_or(0);
+    let mut out = vec![Vec::new(); jobs as usize];
+    for r in records {
+        out[r.job as usize].push(TraceOp {
+            write: r.write,
+            offset: r.offset,
+            len: r.len,
+            random: r.random,
+            think_ns: r.think_ns,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OltpSpec;
+
+    #[test]
+    fn round_trip_preserves_streams() {
+        let jobs = OltpSpec::default().generate();
+        let records = save_trace(&jobs);
+        let back = load_trace(&records);
+        assert_eq!(jobs.len(), back.len());
+        for (a, b) in jobs.iter().flatten().zip(back.iter().flatten()) {
+            assert_eq!(a.offset, b.offset);
+            assert_eq!(a.write, b.write);
+            assert_eq!(a.think_ns, b.think_ns);
+        }
+    }
+
+    #[test]
+    fn json_serialization() {
+        let jobs = vec![vec![deliba_core::engine::TraceOp::read(4096, 4096, true)]];
+        let records = save_trace(&jobs);
+        let json = serde_json::to_string(&records).unwrap();
+        let parsed: Vec<TraceRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert!(load_trace(&[]).is_empty());
+        assert!(save_trace(&[]).is_empty());
+    }
+
+    #[test]
+    fn job_order_preserved_within_job() {
+        let records = vec![
+            TraceRecord { job: 1, write: false, offset: 0, len: 512, random: false, think_ns: 0 },
+            TraceRecord { job: 0, write: true, offset: 512, len: 512, random: false, think_ns: 5 },
+            TraceRecord { job: 1, write: true, offset: 1024, len: 512, random: true, think_ns: 0 },
+        ];
+        let jobs = load_trace(&records);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].len(), 1);
+        assert_eq!(jobs[1].len(), 2);
+        assert_eq!(jobs[1][0].offset, 0);
+        assert_eq!(jobs[1][1].offset, 1024);
+    }
+}

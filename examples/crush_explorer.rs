@@ -1,0 +1,94 @@
+//! CRUSH map exploration: hierarchy dump, placement, reweighting,
+//! failure and expansion behaviour — the properties the DFX-swappable
+//! bucket accelerators (§IV-C) are each optimized for.
+//!
+//! ```text
+//! cargo run --release --example crush_explorer
+//! ```
+
+use deliba_k::crush::{Bucket, BucketAlg, MapBuilder, WEIGHT_ONE};
+
+fn moved_fraction(
+    a: &deliba_k::crush::CrushMap,
+    b: &deliba_k::crush::CrushMap,
+    trials: u32,
+) -> f64 {
+    let mut moved = 0;
+    for x in 0..trials {
+        let pa = a.do_rule(0, x, 3);
+        let pb = b.do_rule(0, x, 3);
+        moved += pa.iter().filter(|d| !pb.contains(d)).count();
+    }
+    moved as f64 / (3.0 * trials as f64)
+}
+
+fn main() {
+    // The paper's testbed hierarchy: 2 servers × 16 OSDs.
+    let map = MapBuilder::new().build(2, 16);
+    println!("paper testbed CRUSH tree:\n{}", map.dump());
+
+    let devs = map.do_rule(0, 0xD3B5, 2);
+    println!("object 0xD3B5 → OSDs {devs:?} (host-disjoint)\n");
+
+    // --- Why straw2 is the default: minimal movement on reweight ------
+    let before = MapBuilder::new().build(8, 4);
+    let mut heavier = before.clone();
+    heavier
+        .bucket_mut(-1)
+        .unwrap()
+        .reweight_item(-2, 8 * WEIGHT_ONE); // host 0 doubles in weight
+    println!(
+        "straw2: doubling one host's weight moves {:.1} % of placements (ideal ≈ 11 %)",
+        100.0 * moved_fraction(&before, &heavier, 4_000)
+    );
+
+    // --- Why the List RM exists: cheap expansion ----------------------
+    let mut grown = MapBuilder::new().build(8, 4);
+    grown.add_bucket(Bucket::new(
+        -10,
+        BucketAlg::Straw2,
+        1,
+        (32..36).collect(),
+        vec![WEIGHT_ONE; 4],
+    ));
+    grown
+        .bucket_mut(-1)
+        .unwrap()
+        .add_item(-10, 4 * WEIGHT_ONE);
+    println!(
+        "adding a 9th host moves {:.1} % of placements (ideal = 1/9 ≈ 11 %)",
+        100.0 * moved_fraction(&MapBuilder::new().build(8, 4), &grown, 4_000)
+    );
+
+    // --- Failure handling ---------------------------------------------
+    let healthy = MapBuilder::new().build(8, 4);
+    let mut degraded = healthy.clone();
+    degraded.mark_out(5);
+    println!(
+        "failing osd.5 remaps {:.1} % of placements (its share: 3/32 ≈ 9 %)",
+        100.0 * moved_fraction(&healthy, &degraded, 4_000)
+    );
+
+    // --- The five bucket algorithms side by side ----------------------
+    println!("\nselection spread over 8 equal items, 40k draws:");
+    for alg in [
+        BucketAlg::Uniform,
+        BucketAlg::List,
+        BucketAlg::Tree,
+        BucketAlg::Straw,
+        BucketAlg::Straw2,
+    ] {
+        let b = Bucket::new(-1, alg, 1, (0..8).collect(), vec![WEIGHT_ONE; 8]);
+        let mut counts = [0u32; 8];
+        for x in 0..40_000u32 {
+            counts[b.select(x, 0).unwrap() as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        println!(
+            "  {:<8} spread (max/min) = {:.3}",
+            alg.name(),
+            max / min
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Quickstart: run a DeLiBA-K workload against the simulated testbed.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's testbed (32-OSD Ceph-like cluster behind a 10 GbE
+//! network, Alveo U280 model on the client), runs a 4 kB random-read
+//! benchmark on both DeLiBA-2 and DeLiBA-K, and prints the comparison.
+
+use deliba_k::core::{Engine, EngineConfig, FioSpec, Generation, Mode, Pattern, RwMode};
+
+fn main() {
+    println!("DeLiBA-K quickstart — 4 kB random reads, hardware-accelerated\n");
+
+    for generation in [Generation::DeLiBA2, Generation::DeLiBAK] {
+        // Hardware-accelerated replication-mode configuration.
+        let cfg = EngineConfig::new(generation, true, Mode::Replication);
+        let mut engine = Engine::new(cfg);
+
+        // fio-equivalent: randread, bs=4k, iodepth=32, numjobs=3.
+        let spec = FioSpec::paper(RwMode::Read, Pattern::Rand, 4096, 6_000);
+        let report = engine.run_fio(&spec);
+
+        println!("{}", report.row());
+        assert_eq!(engine.verify_failures(), 0);
+    }
+
+    println!("\nLatency probes (queue depth 1, Table II methodology):\n");
+    for generation in [Generation::DeLiBA2, Generation::DeLiBAK] {
+        let cfg = EngineConfig::new(generation, true, Mode::Replication);
+        let mut engine = Engine::new(cfg);
+        let probe = FioSpec::latency_probe(RwMode::Read, Pattern::Rand, 4096, 400);
+        let report = engine.run_fio(&probe);
+        println!("{}", report.row());
+    }
+
+    println!("\nDone — see `cargo run -p deliba-bench --bin harness` for every paper figure.");
+}
