@@ -6,7 +6,7 @@
 //!
 //! experiments: fig3 fig4 fig6 fig7 fig8 fig9
 //!              table1 table2 table3 power realworld headline dfx
-//!              ablation mtu
+//!              ablation mtu breakdown
 //!              all (default)
 //! ```
 
@@ -19,7 +19,7 @@ fn main() {
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = [
             "table1", "table2", "table3", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
-            "power", "realworld", "headline", "dfx", "ablation", "mtu",
+            "power", "realworld", "headline", "dfx", "ablation", "mtu", "breakdown",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -44,6 +44,7 @@ fn main() {
             "dfx" => dfx(),
             "ablation" => ablation(),
             "mtu" => mtu(),
+            "breakdown" => breakdown(),
             other => {
                 eprintln!("unknown experiment: {other}");
                 std::process::exit(2);

@@ -723,6 +723,87 @@ pub fn mtu() -> Experiment {
     }
 }
 
+// ---------------------------------------------------------------------
+// Stage-latency breakdown (Table II methodology, decomposed)
+// ---------------------------------------------------------------------
+
+/// Run a qd-1 latency probe with stage tracing and return the traced
+/// report (breakdown attached).
+pub fn traced_probe(g: Generation, rw: RwMode, pat: Pattern, bs: u32) -> RunReport {
+    let cfg = EngineConfig::new(g, true, Mode::Replication).with_tracing();
+    let mut e = Engine::new(cfg);
+    let spec = FioSpec::latency_probe(rw, pat, bs, PROBE_OPS);
+    let r = e.run_fio(&spec);
+    assert_eq!(e.verify_failures(), 0, "data corruption in {:?}", spec.label());
+    r
+}
+
+/// Per-stage latency decomposition of the Table-II 4 kB random-read
+/// probe across the three generations — *where* each generation's time
+/// goes, not just the total.  Asserts the structural invariants that
+/// the paper's Fig. 2 narrative implies: DeLiBA-1 pays all six kernel
+/// crossings on the ring-enter stage while DeLiBA-K amortizes them to
+/// zero, and the DMQ bypass leaves DeLiBA-K's MQ-scheduler stage at
+/// exactly zero.
+pub fn breakdown() -> Experiment {
+    use deliba_sim::Stage;
+    let mut cells = Vec::new();
+    for g in [Generation::DeLiBA1, Generation::DeLiBA2, Generation::DeLiBAK] {
+        let r = traced_probe(g, RwMode::Read, Pattern::Rand, 4096);
+        let b = r.breakdown.as_ref().expect("traced run has a breakdown");
+        // The decomposition must account for the whole mean latency.
+        assert!(
+            (b.stage_sum_us - r.mean_latency_us).abs() < 1.0,
+            "{}: stage sum {:.2} µs vs e2e mean {:.2} µs",
+            gen_name(g),
+            b.stage_sum_us,
+            r.mean_latency_us
+        );
+        match g {
+            Generation::DeLiBA1 => {
+                assert!(
+                    b.stage(Stage::RingEnter).mean_us >= 8.9,
+                    "D1 pays 6 crossings ≈ 9 µs on ring-enter"
+                );
+            }
+            Generation::DeLiBAK => {
+                assert_eq!(
+                    b.stage(Stage::RingEnter).mean_us,
+                    0.0,
+                    "DeLiBA-K amortizes ring enters to zero"
+                );
+                assert_eq!(
+                    b.stage(Stage::BlkMq).mean_us,
+                    0.0,
+                    "DMQ bypass leaves the MQ-scheduler stage empty"
+                );
+            }
+            Generation::DeLiBA2 => {}
+        }
+        for row in &b.stages {
+            cells.push(Cell {
+                config: gen_name(g),
+                workload: row.stage.clone(),
+                unit: "µs",
+                measured: row.mean_us,
+                paper: None,
+            });
+        }
+        cells.push(Cell {
+            config: gen_name(g),
+            workload: "total".into(),
+            unit: "µs",
+            measured: b.stage_sum_us,
+            paper: table2_paper(g, Mode::Replication, RwMode::Read, Pattern::Rand),
+        });
+    }
+    Experiment {
+        id: "Table II (stages)".into(),
+        caption: "per-stage latency decomposition, rand-read 4 kB, qd 1".into(),
+        cells,
+    }
+}
+
 /// Table I companion: verify the accelerator models agree with the
 /// functional software implementations (placement and parity equality),
 /// returning the number of cross-checked operations.

@@ -46,6 +46,13 @@ pub const RULE_REPLICATED_OSD: u32 = 10;
 pub const RULE_EC_OSD: u32 = 11;
 
 /// Result of one object-level operation.
+///
+/// Besides the commit time, the outcome decomposes the cluster's share
+/// of the I/O into three phases that telescope exactly:
+/// `net_tx + osd_service + net_rx == complete - now` (the dispatch
+/// time the caller passed in).  Fan-out ops (replica forwards, EC
+/// shards) attribute by the *latest* arrival/finish among the
+/// participating OSDs, so each phase stays non-negative.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IoOutcome {
     /// Commit/visible time at the client.
@@ -55,6 +62,13 @@ pub struct IoOutcome {
     /// True when the op proceeded with fewer than `width` healthy
     /// positions.
     pub degraded: bool,
+    /// Client→OSD transmit span (wire + store-and-forward in).
+    pub net_tx: SimDuration,
+    /// OSD service span (media, replication fan-out, commit
+    /// gathering).
+    pub osd_service: SimDuration,
+    /// OSD→client receive span for the response/ack.
+    pub net_rx: SimDuration,
 }
 
 /// Recovery (backfill) findings.
@@ -423,6 +437,9 @@ impl Cluster {
             complete: done,
             bytes: data.len() as u64,
             degraded: healthy.len() < size,
+            net_tx: at_primary.saturating_since(now),
+            osd_service: commit.saturating_since(at_primary),
+            net_rx: done.saturating_since(commit),
         })
     }
 
@@ -485,6 +502,9 @@ impl Cluster {
             complete: done,
             bytes: data.len() as u64,
             degraded: healthy.len() < size,
+            net_tx: at_primary.saturating_since(now),
+            osd_service: commit.saturating_since(at_primary),
+            net_rx: done.saturating_since(commit),
         })
     }
 
@@ -538,6 +558,9 @@ impl Cluster {
                     complete: done,
                     bytes: len as u64,
                     degraded: written && (degraded || rank > 0),
+                    net_tx: at_osd.saturating_since(now),
+                    osd_service: fin.saturating_since(at_osd),
+                    net_rx: done.saturating_since(fin),
                 },
             ));
         }
@@ -562,6 +585,8 @@ impl Cluster {
         let acting = self.map.acting_set(pool.pg_of(oid));
         let shard_len = len.div_ceil(k);
         let mut commit = now;
+        let mut last_arrive = now;
+        let mut last_fin = now;
         let mut fetched = 0;
         for &osd in &acting {
             if fetched >= k {
@@ -579,17 +604,23 @@ impl Cluster {
                 .topology
                 .server_to_client(fin, server, shard_len as u64);
             commit = commit.max(done);
+            last_arrive = last_arrive.max(at_osd);
+            last_fin = last_fin.max(fin);
             fetched += 1;
         }
         if fetched < k {
             return None;
         }
+        last_fin = last_fin.max(last_arrive);
         Some((
             Bytes::from(vec![0u8; len]),
             IoOutcome {
                 complete: commit,
                 bytes: len as u64,
                 degraded: false,
+                net_tx: last_arrive.saturating_since(now),
+                osd_service: last_fin.saturating_since(last_arrive),
+                net_rx: commit.saturating_since(last_fin),
             },
         ))
     }
@@ -618,6 +649,8 @@ impl Cluster {
         let acting = self.map.acting_set(pool.pg_of(oid));
         let mut placed: Vec<(i32, usize)> = Vec::new();
         let mut commit = now;
+        let mut last_arrive = now;
+        let mut last_fin = now;
         let mut written = 0usize;
         for (idx, shard) in shards.into_iter().enumerate() {
             let Some(&osd) = acting.get(idx) else {
@@ -635,6 +668,8 @@ impl Cluster {
                 .expect("checked up");
             let ack = self.topology.server_to_client(fin, server, CONTROL_BYTES);
             commit = commit.max(ack);
+            last_arrive = last_arrive.max(arrive);
+            last_fin = last_fin.max(fin);
             placed.push((osd, idx));
             written += 1;
         }
@@ -643,10 +678,14 @@ impl Cluster {
         }
         let degraded = written < k + m;
         self.shard_dir.insert(oid, (original_len, placed));
+        last_fin = last_fin.max(last_arrive);
         Some(IoOutcome {
             complete: commit,
             bytes: original_len as u64,
             degraded,
+            net_tx: last_arrive.saturating_since(now),
+            osd_service: last_fin.saturating_since(last_arrive),
+            net_rx: commit.saturating_since(last_fin),
         })
     }
 
@@ -665,6 +704,8 @@ impl Cluster {
         let (original_len, placed) = self.shard_dir.get(&oid)?.clone();
         let mut slots: Vec<Option<Vec<u8>>> = vec![None; k + m];
         let mut commit = now;
+        let mut last_arrive = now;
+        let mut last_fin = now;
         let mut fetched = 0usize;
         let mut skipped_any = false;
         for (osd, idx) in placed {
@@ -688,6 +729,8 @@ impl Cluster {
                 .topology
                 .server_to_client(fin, server, data.len() as u64);
             commit = commit.max(done);
+            last_arrive = last_arrive.max(at_osd);
+            last_fin = last_fin.max(fin);
             slots[idx] = Some(data.to_vec());
             fetched += 1;
         }
@@ -697,12 +740,16 @@ impl Cluster {
         let rs = ReedSolomon::new(k, m);
         rs.reconstruct(&mut slots).ok()?;
         let payload = rs.join(&slots, original_len);
+        last_fin = last_fin.max(last_arrive);
         Some((
             Bytes::from(payload),
             IoOutcome {
                 complete: commit,
                 bytes: original_len as u64,
                 degraded: skipped_any,
+                net_tx: last_arrive.saturating_since(now),
+                osd_service: last_fin.saturating_since(last_arrive),
+                net_rx: commit.saturating_since(last_fin),
             },
         ))
     }
@@ -981,6 +1028,47 @@ mod tests {
             .read_replicated(w.complete, oid_rep(77), 0, 4096, true)
             .unwrap();
         assert_eq!(read, payload(4096, 2));
+    }
+
+    #[test]
+    fn outcome_phases_telescope_to_completion() {
+        // net_tx + osd_service + net_rx must equal the cluster's whole
+        // share of the I/O for every dispatch path, including fan-out.
+        let check = |label: &str, start: SimTime, o: &IoOutcome| {
+            assert_eq!(
+                o.net_tx + o.osd_service + o.net_rx,
+                o.complete.saturating_since(start),
+                "{label}: phases must telescope"
+            );
+            assert!(o.osd_service > SimDuration::ZERO, "{label}: media time");
+        };
+
+        let mut c = Cluster::paper_testbed(11);
+        let data = payload(8192, 6);
+        let w = c
+            .write_replicated(SimTime::ZERO, oid_rep(21), data.clone(), true)
+            .unwrap();
+        check("write_replicated", SimTime::ZERO, &w);
+        let (_, r) = c
+            .read_replicated(w.complete, oid_rep(21), 0, 8192, true)
+            .unwrap();
+        check("read_replicated", w.complete, &r);
+        let pw = c
+            .write_replicated_at(r.complete, oid_rep(21), 1024, &data[..2048], true)
+            .unwrap();
+        check("write_replicated_at", r.complete, &pw);
+
+        let shards = ReedSolomon::new(4, 2).encode(&data);
+        let ew = c
+            .write_ec_shards(pw.complete, oid_ec(21), data.len(), shards, true)
+            .unwrap();
+        check("write_ec_shards", pw.complete, &ew);
+        let (_, er) = c.read_ec(ew.complete, oid_ec(21), true).unwrap();
+        check("read_ec", ew.complete, &er);
+        let (_, es) = c
+            .read_ec_sparse(er.complete, oid_ec(99), 8192, true)
+            .unwrap();
+        check("read_ec_sparse", er.complete, &es);
     }
 
     #[test]

@@ -23,9 +23,10 @@ use bytes::Bytes;
 use deliba_cluster::{Cluster, ObjectId, RbdImage};
 use deliba_fpga::accel::HLS_LATENCY_INFLATION;
 use deliba_fpga::{AlveoU280, RmId};
-use deliba_net::{TcpStack, TcpStackKind};
+use deliba_net::TcpStack;
+use deliba_qdma::PciePipes;
 use deliba_sim::{
-    Bandwidth, Counter, Histogram, Server, SimDuration, SimRng, SimTime, Xoshiro256,
+    Counter, Histogram, Server, SimDuration, SimRng, SimTime, Stage, StageTracer, Xoshiro256,
 };
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -180,6 +181,10 @@ pub struct EngineConfig {
     /// Jumbo (9000 B MTU) Ethernet framing instead of standard 1500 B
     /// (§IV-B supports both).
     pub jumbo_frames: bool,
+    /// Per-I/O stage-span tracing (latency breakdown).  Off by default:
+    /// the tracer is only allocated — and per-stage histograms only
+    /// touched — when this is set, so plain runs pay nothing.
+    pub trace_stages: bool,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -194,8 +199,15 @@ impl EngineConfig {
             preferred_rm: None,
             features: generation.features(),
             jumbo_frames: false,
+            trace_stages: false,
             seed: 42,
         }
+    }
+
+    /// Enable per-I/O stage tracing.
+    pub fn with_tracing(mut self) -> Self {
+        self.trace_stages = true;
+        self
     }
 
     /// Label like `"DeLiBA-K (HW, replication)"`.
@@ -221,14 +233,15 @@ pub struct Engine {
     /// daemon).
     contexts: Vec<Server>,
     /// PCIe is full duplex: independent host→card and card→host pipes.
-    pcie_h2c: Bandwidth,
-    pcie_c2h: Bandwidth,
+    pcie: PciePipes,
     image: RbdImage,
     rng: Xoshiro256,
     /// Checksums of written blocks for integrity verification.
     written: BTreeMap<(u64, u32), u64>,
     verify_failures: u64,
     degraded_ops: u64,
+    /// Stage-span tracer (present iff `cfg.trace_stages`).
+    tracer: Option<StageTracer>,
 }
 
 impl Engine {
@@ -253,13 +266,13 @@ impl Engine {
             cluster,
             card,
             contexts,
-            pcie_h2c: Bandwidth::new(calib::PCIE_GBYTES_PER_SEC * 1e9, SimDuration::ZERO),
-            pcie_c2h: Bandwidth::new(calib::PCIE_GBYTES_PER_SEC * 1e9, SimDuration::ZERO),
+            pcie: PciePipes::new(calib::PCIE_GBYTES_PER_SEC),
             image: RbdImage::new(pool, 0xD3B5, IMAGE_BYTES),
             rng: Xoshiro256::seed_from_u64(cfg.seed ^ 0xFEED),
             written: BTreeMap::new(),
             verify_failures: 0,
             degraded_ops: 0,
+            tracer: cfg.trace_stages.then(StageTracer::new),
         }
     }
 
@@ -290,6 +303,11 @@ impl Engine {
         self.verify_failures
     }
 
+    /// The stage tracer (`None` unless the config enabled tracing).
+    pub fn tracer(&self) -> Option<&StageTracer> {
+        self.tracer.as_ref()
+    }
+
     /// Resource utilization snapshot over `[0, horizon]` — identifies the
     /// bottleneck of a run (submission contexts, PCIe, client port).
     pub fn utilization(&self, horizon: SimTime) -> String {
@@ -301,7 +319,7 @@ impl Engine {
         format!(
             "ctx [{}] pcie {:.2} client_tx {:.2}",
             ctx.join(" "),
-            self.pcie_h2c.utilization(horizon).max(self.pcie_c2h.utilization(horizon)),
+            self.pcie.utilization(horizon),
             self.cluster.topology().client_tx_utilization(horizon),
         )
     }
@@ -357,13 +375,20 @@ impl Engine {
 
         let mut t = start + costs.submit_latency;
 
+        // Card-side stage spans (zero when no FPGA is configured).
+        let mut span_h2c = SimDuration::ZERO;
+        let mut span_accel_card = SimDuration::ZERO;
+        let mut span_net_fpga = SimDuration::ZERO;
+
         // --- PCIe + card + FPGA network stack ---------------------------
         let mut ec_shards: Option<(Vec<Vec<u8>>, usize)> = None;
         let payload = write.then(|| self.payload_for(op.len as usize));
         if self.cfg.fpga {
             // Payload (writes) or command (reads) crosses PCIe.
             let dma_bytes = if write { bytes } else { 256 };
-            t = self.pcie_h2c.transfer(t, dma_bytes);
+            let pre_h2c = t;
+            t = self.pcie.h2c_transfer(t, dma_bytes);
+            span_h2c = t.saturating_since(pre_h2c);
             // Placement kernel runs as data streams through the card:
             // execute the *real* CRUSH rule on the device model so DFX
             // swaps, fallbacks and cycle budgets are all exercised.
@@ -380,28 +405,33 @@ impl Engine {
                 let crush = self.cluster.map().crush();
                 let card = self.card.as_mut().expect("fpga config has a card");
                 let (_devices, place_t, _kernel) = card.place(t, crush, rule, seed, width, preferred);
-                t += if hls {
+                let place_eff = if hls {
                     place_t * HLS_LATENCY_INFLATION
                 } else {
                     place_t
                 };
+                t += place_eff;
+                span_accel_card += place_eff;
             }
             // EC writes: the RS accelerator encodes on the card.
             if write && self.cfg.mode == Mode::ErasureCoding {
                 let card = self.card.as_mut().expect("fpga config has a card");
                 let data = payload.as_ref().expect("write has payload");
                 let (shards, enc_t) = card.encode(data);
-                t += if self.cfg.features.rtl_accel {
+                let enc_eff = if self.cfg.features.rtl_accel {
                     enc_t
                 } else {
                     enc_t * HLS_LATENCY_INFLATION
                 };
+                t += enc_eff;
+                span_accel_card += enc_eff;
                 ec_shards = Some((shards, data.len()));
             }
             // FPGA TCP stack pipeline fill.
             let stack = TcpStack::new(self.cfg.features.hw_tcp);
-            if stack.kind != TcpStackKind::HostSoftware {
-                t += stack.latency(bytes);
+            if stack.is_offloaded() {
+                span_net_fpga = stack.latency(bytes);
+                t += span_net_fpga;
             }
         } else if write && self.cfg.mode == Mode::ErasureCoding {
             // Software baseline: encode on the host (time already charged
@@ -481,11 +511,35 @@ impl Engine {
         let mut complete = outcome.complete;
 
         // --- Return path ------------------------------------------------
+        let mut span_c2h = SimDuration::ZERO;
         if self.cfg.fpga && !write {
             // Read payload crosses PCIe back to the host buffer.
-            complete = self.pcie_c2h.transfer(complete, bytes);
+            let pre_c2h = complete;
+            complete = self.pcie.c2h_transfer(complete, bytes);
+            span_c2h = complete.saturating_since(pre_c2h);
         }
         complete += costs.complete_latency;
+
+        // --- Stage spans ------------------------------------------------
+        // Every span above telescopes `start → complete`, so recording
+        // all eleven (zeros included) keeps Σ stage means == e2e mean.
+        // Failed ops (the `None` outcome above) are charged a timeout,
+        // not a decomposition, and stay out of the tracer.
+        if let Some(tracer) = self.tracer.as_mut() {
+            let p = &costs.parts;
+            tracer.record(Stage::Submit, p.submit);
+            tracer.record(Stage::RingEnter, p.ring_enter);
+            tracer.record(Stage::BlkMq, p.blk_mq);
+            tracer.record(Stage::Uifd, p.uifd);
+            tracer.record(Stage::QdmaH2C, span_h2c);
+            tracer.record(Stage::Accel, p.accel + span_accel_card);
+            tracer.record(Stage::NetTx, p.net_tx + span_net_fpga + outcome.net_tx);
+            tracer.record(Stage::OsdService, outcome.osd_service);
+            tracer.record(Stage::NetRx, outcome.net_rx);
+            tracer.record(Stage::QdmaC2H, span_c2h);
+            tracer.record(Stage::Complete, costs.complete_latency);
+            tracer.record_op();
+        }
 
         // --- Context occupancy -------------------------------------------
         if self.cfg.features.sync_daemon {
@@ -542,7 +596,7 @@ impl Engine {
             tiebreak += 1;
         }
         let window = last_complete.saturating_since(SimTime::ZERO);
-        RunReport::new(
+        let mut report = RunReport::new(
             self.cfg.label(),
             "trace".to_string(),
             &hist,
@@ -550,7 +604,11 @@ impl Engine {
             window,
             self.degraded_ops,
             self.verify_failures,
-        )
+        );
+        if let Some(tracer) = &self.tracer {
+            report.breakdown = Some(crate::report::StageBreakdown::from_tracer(tracer));
+        }
+        report
     }
 
     /// Generate and run a fio-style workload.

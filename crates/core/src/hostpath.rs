@@ -18,11 +18,56 @@ use crate::Generation;
 use deliba_net::{TcpStack, TcpStackKind};
 use deliba_sim::SimDuration;
 
+/// Host-side submission latency, decomposed by pipeline stage.
+///
+/// The parts sum to [`HostCosts::submit_latency`] exactly — they are
+/// the same costs, attributed rather than pooled — and feed the
+/// [`deliba_sim::Stage`] spans when tracing is enabled:
+///
+/// * `ring_enter` — user/kernel crossings (D1 pays 6; DeLiBA-K's
+///   registered rings amortize the enter into the per-I/O io_uring
+///   cost charged under `submit`, leaving this zero);
+/// * `submit` — API per-I/O cost + payload copies + the latency share
+///   of the client protocol;
+/// * `blk_mq` — MQ *scheduler* cost only: exactly zero under the DMQ
+///   bypass (the bypass's tag-alloc cost belongs to the driver stage);
+/// * `uifd` — driver submission: bypass tag alloc + DMA descriptor
+///   post/doorbell;
+/// * `accel` — host-software placement/encode (CRUSH, RS) when no FPGA
+///   carries them;
+/// * `net_tx` — host TCP transmit processing when the stack runs in
+///   software.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HostStageParts {
+    /// Kernel-boundary crossings.
+    pub ring_enter: SimDuration,
+    /// API + copies + protocol latency share.
+    pub submit: SimDuration,
+    /// MQ scheduler (zero under bypass).
+    pub blk_mq: SimDuration,
+    /// Driver submission (bypass tag alloc + descriptor).
+    pub uifd: SimDuration,
+    /// Software placement/encode.
+    pub accel: SimDuration,
+    /// Software TCP transmit round.
+    pub net_tx: SimDuration,
+}
+
+impl HostStageParts {
+    /// Total submission-side critical-path latency.
+    pub fn total(&self) -> SimDuration {
+        self.ring_enter + self.submit + self.blk_mq + self.uifd + self.accel + self.net_tx
+    }
+}
+
 /// Host-side costs of one I/O.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HostCosts {
-    /// Critical-path latency on the submission side (before the wire).
+    /// Critical-path latency on the submission side (before the wire);
+    /// always equals `parts.total()`.
     pub submit_latency: SimDuration,
+    /// The same submission latency, attributed per stage.
+    pub parts: HostStageParts,
     /// Submission-context busy time.
     pub occupancy: SimDuration,
     /// Critical-path latency on the completion side.
@@ -42,7 +87,7 @@ pub fn host_costs(
     bytes: u64,
     mode: Mode,
 ) -> HostCosts {
-    let mut latency = SimDuration::ZERO;
+    let mut parts = HostStageParts::default();
     let mut occupancy = SimDuration::ZERO;
 
     // API + crossings + copies.
@@ -53,7 +98,8 @@ pub fn host_costs(
     } else {
         calib::NBD_PER_IO
     };
-    latency += crossings + copies + api;
+    parts.ring_enter += crossings;
+    parts.submit += copies + api;
     occupancy += crossings + copies + api;
 
     // Non-offloadable client protocol work.
@@ -69,17 +115,20 @@ pub fn host_costs(
     } else {
         calib::PROTO_LATENCY_SHARE_READ
     };
-    latency += proto * share;
+    parts.submit += proto * share;
     occupancy += proto;
 
-    // Block layer.
-    let blk = if features.sched_bypass {
-        calib::MQ_BYPASS
+    // Block layer.  The bypass's tag allocation is driver work (the
+    // DMQ path hands the request straight to the UIFD), so it lands on
+    // the `uifd` part and the MQ-scheduler stage is exactly zero under
+    // bypass — an invariant the breakdown tests pin.
+    if features.sched_bypass {
+        parts.uifd += calib::MQ_BYPASS;
+        occupancy += calib::MQ_BYPASS;
     } else {
-        calib::MQ_SCHED
-    };
-    latency += blk;
-    occupancy += blk;
+        parts.blk_mq += calib::MQ_SCHED;
+        occupancy += calib::MQ_SCHED;
+    }
 
     // Placement (+ EC encode for writes) in software when no FPGA.
     if !fpga {
@@ -90,7 +139,7 @@ pub fn host_costs(
                     bytes.saturating_sub(4096).div_ceil(1024) * calib::SW_RS_NS_PER_KIB,
                 );
         }
-        latency += sw;
+        parts.accel += sw;
         occupancy += sw;
     }
 
@@ -101,7 +150,7 @@ pub fn host_costs(
         } else {
             calib::XDMA_DESC
         };
-        latency += desc;
+        parts.uifd += desc;
         occupancy += desc; // doorbell + descriptor fill are CPU work
     }
 
@@ -115,7 +164,7 @@ pub fn host_costs(
     };
     if stack_kind == TcpStackKind::HostSoftware {
         let tcp = TcpStack::new(TcpStackKind::HostSoftware);
-        latency += calib::SW_NET_ROUND;
+        parts.net_tx += calib::SW_NET_ROUND;
         occupancy += tcp.host_cpu(bytes);
     }
 
@@ -128,7 +177,8 @@ pub fn host_costs(
     let residual = calib::residual(features.residual_of, write, random);
 
     HostCosts {
-        submit_latency: latency,
+        submit_latency: parts.total(),
+        parts,
         occupancy: occupancy + completion,
         complete_latency: completion + residual,
     }
@@ -200,6 +250,38 @@ mod tests {
         // one extra crossing and copy.
         let gap = d1.submit_latency - d2.submit_latency;
         assert!(gap > calib::SW_NET_ROUND, "gap {gap}");
+    }
+
+    #[test]
+    fn stage_parts_telescope_submit_latency() {
+        for generation in [Generation::DeLiBA1, Generation::DeLiBA2, Generation::DeLiBAK] {
+            for fpga in [false, true] {
+                for write in [false, true] {
+                    for mode in [Mode::Replication, Mode::ErasureCoding] {
+                        let c = host_costs(&generation.features(), fpga, write, true, KB4, mode);
+                        assert_eq!(
+                            c.parts.total(),
+                            c.submit_latency,
+                            "{generation:?} fpga={fpga} write={write} {mode:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bypass_zeroes_the_mq_scheduler_stage() {
+        let dk = host_costs(&Generation::DeLiBAK.features(), true, false, true, KB4, Mode::Replication);
+        assert!(Generation::DeLiBAK.features().sched_bypass);
+        assert_eq!(dk.parts.blk_mq, SimDuration::ZERO);
+        // The bypass tag alloc moved to the driver stage, not vanished.
+        assert!(dk.parts.uifd >= calib::MQ_BYPASS);
+
+        let d1 = host_costs(&Generation::DeLiBA1.features(), true, false, true, KB4, Mode::Replication);
+        assert_eq!(d1.parts.blk_mq, calib::MQ_SCHED);
+        // D1 pays all six kernel crossings on the ring-enter stage.
+        assert_eq!(d1.parts.ring_enter, calib::CROSSING * 6);
     }
 
     #[test]

@@ -1,7 +1,83 @@
 //! Serializable run reports — the rows of every figure and table.
 
-use deliba_sim::{Counter, Histogram, SimDuration};
+use deliba_sim::{Counter, Histogram, SimDuration, Stage, StageTracer};
 use serde::{Deserialize, Serialize};
+
+/// One stage's row of a latency breakdown.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct StageSpanReport {
+    /// Stage label (`Stage::label()` — stable JSON key).
+    pub stage: String,
+    /// Mean span over all traced ops (zeros included), µs.
+    pub mean_us: f64,
+    /// 99th-percentile span, µs.
+    pub p99_us: f64,
+    /// This stage's share of the end-to-end mean, percent.
+    pub share_pct: f64,
+}
+
+/// Table-II-style per-stage latency decomposition of a run.
+///
+/// Stage rows are in critical-path order and their means sum to
+/// `stage_sum_us`, which equals the run's mean end-to-end latency
+/// (the tracer records every stage for every op, so spans telescope).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct StageBreakdown {
+    /// Fully traced operations.
+    pub ops: u64,
+    /// Per-stage rows, in [`Stage::ALL`] order.
+    pub stages: Vec<StageSpanReport>,
+    /// Sum of per-stage means, µs (== end-to-end mean latency).
+    pub stage_sum_us: f64,
+}
+
+impl StageBreakdown {
+    /// Snapshot a tracer into serializable rows.
+    pub fn from_tracer(tracer: &StageTracer) -> Self {
+        let sum = tracer.stage_sum_us();
+        let stages = Stage::ALL
+            .iter()
+            .map(|&s| {
+                let mean = tracer.mean_us(s);
+                StageSpanReport {
+                    stage: s.label().to_string(),
+                    mean_us: mean,
+                    p99_us: tracer.histogram(s).p99_us(),
+                    share_pct: if sum > 0.0 { 100.0 * mean / sum } else { 0.0 },
+                }
+            })
+            .collect();
+        StageBreakdown {
+            ops: tracer.ops(),
+            stages,
+            stage_sum_us: sum,
+        }
+    }
+
+    /// The row for a stage, by label.
+    pub fn stage(&self, stage: Stage) -> &StageSpanReport {
+        self.stages
+            .iter()
+            .find(|r| r.stage == stage.label())
+            .expect("breakdown carries every stage")
+    }
+
+    /// Multi-line human-readable table (µs, share).
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        for row in &self.stages {
+            out.push_str(&format!(
+                "    {:<12} {:>9.2} µs  ({:>5.1} %)  p99 {:>9.2} µs\n",
+                row.stage, row.mean_us, row.share_pct, row.p99_us
+            ));
+        }
+        out.push_str(&format!(
+            "    {:<12} {:>9.2} µs  (over {} ops)\n",
+            "total", self.stage_sum_us, self.ops
+        ));
+        out
+    }
+}
 
 /// The outcome of one engine run (one bar in one figure).
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -26,6 +102,9 @@ pub struct RunReport {
     pub verify_failures: u64,
     /// Measurement window, seconds of virtual time.
     pub window_s: f64,
+    /// Per-stage latency decomposition (present when the engine ran
+    /// with `trace_stages`).
+    pub breakdown: Option<StageBreakdown>,
 }
 
 impl RunReport {
@@ -50,6 +129,7 @@ impl RunReport {
             degraded_ops,
             verify_failures,
             window_s: window.as_secs_f64(),
+            breakdown: None,
         }
     }
 

@@ -26,6 +26,7 @@ pub struct AlveoU280 {
     /// Power model.
     pub power: PowerModel,
     dfx_fallbacks: u64,
+    accel_busy: SimDuration,
 }
 
 impl AlveoU280 {
@@ -51,6 +52,7 @@ impl AlveoU280 {
             dfx: DfxController::new(initial_rm),
             power: PowerModel::default(),
             dfx_fallbacks: 0,
+            accel_busy: SimDuration::ZERO,
         }
     }
 
@@ -80,7 +82,7 @@ impl AlveoU280 {
         num: usize,
         preferred: Option<RmId>,
     ) -> (Vec<DeviceId>, SimDuration, AccelKind) {
-        match preferred {
+        let (devs, d, kind) = match preferred {
             Some(want) => match self.dfx.active_rm(now) {
                 Some(active) if active == want => {
                     let (devs, d) = self.rm_accel(want).place(map, rule, x, num);
@@ -100,7 +102,9 @@ impl AlveoU280 {
                 let (devs, d) = self.straw2.place(map, rule, x, num);
                 (devs, d, AccelKind::Straw2)
             }
-        }
+        };
+        self.accel_busy += d;
+        (devs, d, kind)
     }
 
     /// Run a placement on the static Straw kernel (legacy pools).
@@ -111,12 +115,16 @@ impl AlveoU280 {
         x: u32,
         num: usize,
     ) -> (Vec<DeviceId>, SimDuration) {
-        self.straw.place(map, rule, x, num)
+        let (devs, d) = self.straw.place(map, rule, x, num);
+        self.accel_busy += d;
+        (devs, d)
     }
 
     /// Encode a block through the RS accelerator.
     pub fn encode(&mut self, data: &[u8]) -> (Vec<Vec<u8>>, SimDuration) {
-        self.rs.encode(data)
+        let (shards, d) = self.rs.encode(data);
+        self.accel_busy += d;
+        (shards, d)
     }
 
     /// The erasure codec configured on the card.
@@ -133,6 +141,13 @@ impl AlveoU280 {
     /// unavailable.
     pub fn dfx_fallbacks(&self) -> u64 {
         self.dfx_fallbacks
+    }
+
+    /// Cumulative kernel compute time across all accelerators (the
+    /// card-side contribution to the `Accel` stage of the latency
+    /// breakdown).
+    pub fn accel_busy(&self) -> SimDuration {
+        self.accel_busy
     }
 
     /// Static-region resource usage (Table III upper half).
@@ -252,6 +267,17 @@ mod tests {
         assert_eq!(shards.len(), 6);
         assert!(d.as_nanos() > 0);
         assert_eq!(card.rs_codec().k(), 4);
+    }
+
+    #[test]
+    fn accel_busy_accumulates_kernel_time() {
+        let mut card = AlveoU280::deliba_k_default();
+        assert_eq!(card.accel_busy(), SimDuration::ZERO);
+        let map = MapBuilder::new().build(8, 4);
+        let (_, p, _) = card.place(SimTime::ZERO, &map, 0, 42, 3, None);
+        let (_, e) = card.encode(&[0u8; 4096]);
+        let (_, s) = card.place_straw(&map, 0, 5, 3);
+        assert_eq!(card.accel_busy(), p + e + s);
     }
 
     #[test]

@@ -65,6 +65,13 @@ impl TcpStack {
         self
     }
 
+    /// True when segment processing runs on the FPGA — the stack's
+    /// latency then belongs to the card-side `NetTx` stage of the
+    /// breakdown rather than to host CPU time.
+    pub fn is_offloaded(&self) -> bool {
+        self.kind != TcpStackKind::HostSoftware
+    }
+
     fn per_segment_ns(&self) -> u64 {
         match self.kind {
             TcpStackKind::HostSoftware => HOST_SW_PER_SEGMENT_NS,
@@ -131,8 +138,11 @@ mod tests {
     #[test]
     fn offloaded_stacks_cost_no_host_cpu() {
         for kind in [TcpStackKind::HlsFpga, TcpStackKind::RtlFpga] {
-            assert_eq!(TcpStack::new(kind).host_cpu(128 * 1024), SimDuration::ZERO);
+            let stack = TcpStack::new(kind);
+            assert!(stack.is_offloaded());
+            assert_eq!(stack.host_cpu(128 * 1024), SimDuration::ZERO);
         }
+        assert!(!TcpStack::new(TcpStackKind::HostSoftware).is_offloaded());
         assert!(
             TcpStack::new(TcpStackKind::HostSoftware).host_cpu(128 * 1024)
                 > SimDuration::from_micros(100)

@@ -32,6 +32,7 @@ pub mod descriptor;
 pub mod engine;
 pub mod function;
 pub mod mem;
+pub mod pcie;
 pub mod queue;
 pub mod ring;
 
@@ -39,5 +40,6 @@ pub use descriptor::{DescControl, Descriptor, IfType, DESCRIPTOR_BYTES};
 pub use engine::{DescriptorEngine, EngineConfig};
 pub use function::{FunctionId, FunctionKind, FunctionMap};
 pub use mem::SparseMemory;
+pub use pcie::PciePipes;
 pub use queue::{CmptEntry, QueueSet, MAX_QUEUE_SETS};
 pub use ring::DescriptorRing;

@@ -18,6 +18,8 @@
 //!   platform or `std` hash ordering;
 //! * [`metrics`] — latency histograms, counters and summary statistics used
 //!   by the benchmark harness to print the paper's tables and figures;
+//! * [`stage`] — per-I/O stage-span tracing ([`Stage`] taxonomy +
+//!   [`StageTracer`]) behind the engine's latency-breakdown reports;
 //! * [`resource`] — queueing-theory building blocks (single/multi servers,
 //!   bandwidth pipes, token buckets) shared by the network, OSD, PCIe and
 //!   host-CPU models.
@@ -26,10 +28,12 @@ pub mod event;
 pub mod metrics;
 pub mod resource;
 pub mod rng;
+pub mod stage;
 pub mod time;
 
 pub use event::{EventQueue, Simulator};
 pub use metrics::{Counter, Histogram, Summary};
+pub use stage::{Stage, StageTracer};
 pub use resource::{Bandwidth, MultiServer, Server, TokenBucket};
 pub use rng::{SimRng, SplitMix64, Xoshiro256};
 pub use time::{SimDuration, SimTime};

@@ -9,7 +9,7 @@ use crate::time::{SimDuration, SimTime};
 
 /// Log-linear latency histogram (HDR-histogram layout: buckets double in
 /// width, each with `SUB_BUCKETS` linear sub-buckets).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,

@@ -1,0 +1,120 @@
+//! Shape-locked regression tests for the per-I/O stage-latency
+//! breakdown.
+//!
+//! These pin the *structure* of the decomposition, not absolute
+//! numbers: the stage spans must telescope to the end-to-end mean, the
+//! host-path stages must shrink strictly across generations (Fig. 2's
+//! narrative), and the two architectural zeros — DeLiBA-K's amortized
+//! ring enters and its DMQ bypass — must be exactly zero, not merely
+//! small.
+
+use deliba_core::{Engine, EngineConfig, FioSpec, Generation, Mode, Pattern, RunReport, RwMode};
+use deliba_sim::Stage;
+
+const PROBE_OPS: u64 = 300;
+
+fn traced_probe(g: Generation, rw: RwMode) -> RunReport {
+    let cfg = EngineConfig::new(g, true, Mode::Replication).with_tracing();
+    let mut e = Engine::new(cfg);
+    let r = e.run_fio(&FioSpec::latency_probe(rw, Pattern::Rand, 4096, PROBE_OPS));
+    assert_eq!(e.verify_failures(), 0);
+    r
+}
+
+/// Host-path share of the breakdown: the stages the framework
+/// generations differ on (API, crossings, MQ, driver, completion).
+fn host_stage_sum(r: &RunReport) -> f64 {
+    let b = r.breakdown.as_ref().expect("traced");
+    [
+        Stage::Submit,
+        Stage::RingEnter,
+        Stage::BlkMq,
+        Stage::Uifd,
+        Stage::Complete,
+    ]
+    .iter()
+    .map(|&s| b.stage(s).mean_us)
+    .sum()
+}
+
+#[test]
+fn stage_means_sum_to_end_to_end_mean() {
+    for g in [Generation::DeLiBA1, Generation::DeLiBA2, Generation::DeLiBAK] {
+        for rw in [RwMode::Read, RwMode::Write] {
+            let r = traced_probe(g, rw);
+            let b = r.breakdown.as_ref().expect("traced run carries a breakdown");
+            assert_eq!(b.ops, r.ops, "every op fully traced");
+            assert!(
+                (b.stage_sum_us - r.mean_latency_us).abs() < 1.0,
+                "{g:?} {rw:?}: stage sum {:.3} µs vs e2e mean {:.3} µs",
+                b.stage_sum_us,
+                r.mean_latency_us
+            );
+        }
+    }
+}
+
+#[test]
+fn host_path_stages_shrink_across_generations() {
+    for rw in [RwMode::Read, RwMode::Write] {
+        let d1 = host_stage_sum(&traced_probe(Generation::DeLiBA1, rw));
+        let d2 = host_stage_sum(&traced_probe(Generation::DeLiBA2, rw));
+        let dk = host_stage_sum(&traced_probe(Generation::DeLiBAK, rw));
+        assert!(d1 > d2, "{rw:?}: D1 {d1:.1} µs must exceed D2 {d2:.1} µs");
+        assert!(d2 > dk, "{rw:?}: D2 {d2:.1} µs must exceed DK {dk:.1} µs");
+    }
+}
+
+#[test]
+fn architectural_zeros_are_exact() {
+    let dk = traced_probe(Generation::DeLiBAK, RwMode::Read);
+    let b = dk.breakdown.as_ref().unwrap();
+    assert_eq!(b.stage(Stage::BlkMq).mean_us, 0.0, "DMQ bypass: no MQ scheduler time");
+    assert_eq!(b.stage(Stage::RingEnter).mean_us, 0.0, "SQ polling: no ring enters");
+
+    let d1 = traced_probe(Generation::DeLiBA1, RwMode::Read);
+    let b1 = d1.breakdown.as_ref().unwrap();
+    // 6 crossings × 1.5 µs, identical on every op.
+    assert!(
+        (b1.stage(Stage::RingEnter).mean_us - 9.0).abs() < 1e-9,
+        "D1 ring-enter {:.3} µs must be exactly 6 crossings",
+        b1.stage(Stage::RingEnter).mean_us
+    );
+    assert!(b1.stage(Stage::BlkMq).mean_us > 0.0, "D1 runs the MQ scheduler");
+}
+
+#[test]
+fn tracing_does_not_perturb_results() {
+    let spec = FioSpec::latency_probe(RwMode::Read, Pattern::Rand, 4096, PROBE_OPS);
+    let plain = Engine::new(EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication))
+        .run_fio(&spec);
+    let traced = Engine::new(
+        EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication).with_tracing(),
+    )
+    .run_fio(&spec);
+    assert!(plain.breakdown.is_none());
+    assert!(traced.breakdown.is_some());
+    assert_eq!(plain.mean_latency_us, traced.mean_latency_us);
+    assert_eq!(plain.p99_latency_us, traced.p99_latency_us);
+    assert_eq!(plain.throughput_mbps, traced.throughput_mbps);
+    assert_eq!(plain.ops, traced.ops);
+}
+
+#[test]
+fn breakdown_exports_all_stages_as_json() {
+    let r = traced_probe(Generation::DeLiBAK, RwMode::Read);
+    let json = serde_json::to_string(&r).unwrap();
+    for s in Stage::ALL {
+        assert!(
+            json.contains(&format!("\"{}\"", s.label())),
+            "JSON must carry the {} stage",
+            s.label()
+        );
+    }
+    let back: RunReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, r, "report round-trips through JSON");
+    let b = back.breakdown.unwrap();
+    let labels: Vec<&str> = b.stages.iter().map(|s| s.stage.as_str()).collect();
+    let expected: Vec<&str> = Stage::ALL.iter().map(|s| s.label()).collect();
+    assert_eq!(labels, expected, "stages stay in critical-path order");
+}

@@ -1,0 +1,184 @@
+//! Minimal offline stand-in for the `bytes` crate: a cheaply-clonable
+//! immutable byte buffer (`Bytes`, backed by `Arc<[u8]>`) and a
+//! mutable one (`BytesMut`, backed by `Vec<u8>`).  Only the surface
+//! the workspace uses is provided; clones of `Bytes` are O(1) so the
+//! simulator's zero-copy claims keep their cost model.
+
+// Offline stand-in: not held to the main workspace lint bar.
+#![allow(clippy::all)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Immutable shared byte buffer.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes(Arc::from(bytes))
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// A view of `self[begin..end]` (copies; the stand-in does not do
+    /// sub-slice sharing).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
+        Bytes::copy_from_slice(&self.0[range])
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Bytes::from_static(v)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(v: BytesMut) -> Self {
+        Bytes::from(v.0)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes(len={})", self.0.len())
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.0[..] == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.0[..] == &other[..]
+    }
+}
+
+/// Mutable byte buffer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut(Vec::with_capacity(capacity))
+    }
+
+    pub fn zeroed(len: usize) -> Self {
+        BytesMut(vec![0u8; len])
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.0.extend_from_slice(data)
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut(len={})", self.0.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_round_trip() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(b.slice(1..3), Bytes::from(vec![2, 3]));
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::from_static(b"xy").len(), 2);
+    }
+
+    #[test]
+    fn bytes_mut_round_trip() {
+        let mut m = BytesMut::zeroed(4);
+        m[0] = 9;
+        m.extend_from_slice(&[7]);
+        assert_eq!(&m[..], &[9, 0, 0, 0, 7]);
+        assert_eq!(m.freeze(), Bytes::from(vec![9, 0, 0, 0, 7]));
+    }
+}

@@ -1,0 +1,92 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors the tiny API slice it needs (see
+//! `vendor/README.md`).  The simulation itself uses
+//! `deliba-sim::rng::SimRng` (Xoshiro256**); this crate only exists so
+//! that test code may reach for the conventional `rand` surface.
+
+// Offline stand-in: not held to the main workspace lint bar.
+#![allow(clippy::all)]
+
+/// Core source of randomness: a `u64`-producing generator.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods, in the spirit of `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from `[range.start, range.end)`.
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range on empty range");
+        let width = range.end - range.start;
+        range.start + self.next_u64() % width
+    }
+
+    /// A full-entropy `u64`.
+    fn gen_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    /// A uniformly random `bool`.
+    fn gen_bool_even(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Seedable construction, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 — tiny, fast, and good enough for test data.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// A process-global deterministic generator (the offline stand-in does
+/// not read OS entropy; reproducibility is a feature here).
+pub fn thread_rng() -> rngs::StdRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0x5EED_0F_5EED);
+    <rngs::StdRng as SeedableRng>::seed_from_u64(COUNTER.fetch_add(1, Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_in_bounds_and_deterministic() {
+        let mut a = <rngs::StdRng as SeedableRng>::seed_from_u64(7);
+        let mut b = <rngs::StdRng as SeedableRng>::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = a.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            assert_eq!(x, b.gen_range(10..20));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Offline stand-in for `serde_derive`, written against bare
+//! `proc_macro` (no `syn`/`quote`, which the container cannot
+//! download).  Supports exactly what the workspace derives on:
+//! non-generic structs with named fields.  Field attributes are
+//! ignored; `#[serde(...)]` customization is unsupported and the
+//! macro panics on enums/tuple structs so misuse fails at compile
+//! time rather than silently producing wrong JSON.
+
+// Offline stand-in: not held to the main workspace lint bar.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Struct name + named-field list parsed straight off the token tree.
+struct Parsed {
+    name: String,
+    fields: Vec<String>,
+}
+
+fn parse_named_struct(input: TokenStream, which: &str) -> Parsed {
+    let mut iter = input.into_iter();
+    let mut name: Option<String> = None;
+    let mut saw_struct = false;
+    for tt in iter.by_ref() {
+        match tt {
+            TokenTree::Ident(id) if !saw_struct && id.to_string() == "struct" => {
+                saw_struct = true;
+            }
+            TokenTree::Ident(id) if saw_struct && name.is_none() => {
+                name = Some(id.to_string());
+            }
+            TokenTree::Punct(p) if name.is_some() && p.as_char() == '<' => {
+                panic!("derive({which}): generic structs are not supported by the vendored shim");
+            }
+            TokenTree::Group(g)
+                if name.is_some() && g.delimiter() == Delimiter::Brace =>
+            {
+                return Parsed {
+                    name: name.unwrap(),
+                    fields: parse_field_names(g.stream(), which),
+                };
+            }
+            TokenTree::Group(g)
+                if name.is_some() && g.delimiter() == Delimiter::Parenthesis =>
+            {
+                panic!("derive({which}): tuple structs are not supported by the vendored shim");
+            }
+            _ => {}
+        }
+    }
+    panic!("derive({which}): expected a struct with named fields (enums are unsupported)");
+}
+
+/// Walk the brace-group body.  Field grammar handled:
+/// `(#[attr])* (pub (in path)?)? name : Type ,` where `Type` may
+/// contain `<...>` generics (commas inside angle brackets are not
+/// field separators; parens/brackets/braces arrive pre-grouped).
+fn parse_field_names(body: TokenStream, which: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes: '#' followed by a bracket group.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next(); // the [...] group
+                }
+                _ => break,
+            }
+        }
+        // Visibility: `pub` optionally followed by `(...)`.
+        if let Some(TokenTree::Ident(id)) = iter.peek() {
+            if id.to_string() == "pub" {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(other) => panic!("derive({which}): unexpected token {other} in struct body"),
+            None => break,
+        }
+        // Skip `: Type` up to the next top-level comma, tracking
+        // angle-bracket depth so `Option<Vec<T>>` survives.
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_named_struct(input, "Serialize");
+    let pushes: String = parsed
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "fields.push(({f:?}.to_string(), \
+                 ::serde::Serialize::serialize_value(&self.{f})));\n"
+            )
+        })
+        .collect();
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =\n\
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}\n",
+        name = parsed.name,
+        pushes = pushes,
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_named_struct(input, "Deserialize");
+    let inits: String = parsed
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize_value(\n\
+                     value.get({f:?}).unwrap_or(&::serde::Value::Null))\n\
+                     .map_err(|e| ::serde::Error::new(\n\
+                         format!(\"field {f}: {{}}\", e.0)))?,\n"
+            )
+        })
+        .collect();
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(value: &::serde::Value)\n\
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name} {{\n\
+                     {inits}\
+                 }})\n\
+             }}\n\
+         }}\n",
+        name = parsed.name,
+        inits = inits,
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
