@@ -1,0 +1,205 @@
+//! Old-vs-new event-queue microbenchmarks.
+//!
+//! The simulator's queue used to be a `BinaryHeap<Scheduled<E>>` whose
+//! payloads were `Box<dyn FnOnce>` closures — one heap allocation per
+//! scheduled event, freed on pop (a local replica lives below so the
+//! comparison survives the old code's removal; `Box<u64>` stands in for
+//! the boxed closure).  The replacement is an index-based 4-ary min-heap
+//! with inline `(SimTime, seq)` keys and a slot arena that recycles
+//! payload storage across pops, so steady-state scheduling allocates
+//! nothing.  Each pattern also runs the new queue against a plain
+//! *inline* binary heap (`u64` payload, no boxing) to show the heap
+//! layouts alone are comparable — the arena's win is the allocation it
+//! removes, not the sift.  Two access patterns bracket the engine's
+//! behaviour:
+//!
+//! * **churn** — steady-state schedule/pop with pseudo-random deltas,
+//!   the closed-loop engine's hot path;
+//! * **burst** — many events at the *same* timestamp then a full drain,
+//!   the token-refill pattern (FIFO tie-break order must hold).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use deliba_sim::{EventQueue, SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+
+// --- Replica of the pre-overhaul queue -------------------------------
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The old queue: binary max-heap over reversed keys, payload moved on
+/// every sift.
+struct OldQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> OldQueue<E> {
+    fn new() -> Self {
+        OldQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn schedule_at(&mut self, at: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.at, s.payload))
+    }
+}
+
+// --- Workloads --------------------------------------------------------
+
+const CHURN_OPS: u64 = 100_000;
+const BURST: u64 = 4_096;
+
+/// The old queue as the simulator used it: every event a fresh `Box`.
+fn churn_old_boxed(prefill: u64) -> u64 {
+    let mut q: OldQueue<Box<u64>> = OldQueue::new();
+    for i in 0..prefill {
+        q.schedule_at(SimTime::from_nanos(i), Box::new(i));
+    }
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let mut acc = 0u64;
+    for _ in 0..CHURN_OPS {
+        let (at, v) = q.pop().expect("populated");
+        acc = acc.wrapping_add(*v);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        q.schedule_at(
+            at + SimDuration::from_nanos(1 + ((x >> 33) & 1023)),
+            Box::new(*v),
+        );
+    }
+    acc
+}
+
+/// The old heap layout with the boxing stripped (best case for it).
+fn churn_old_inline(prefill: u64) -> u64 {
+    let mut q: OldQueue<u64> = OldQueue::new();
+    for i in 0..prefill {
+        q.schedule_at(SimTime::from_nanos(i), i);
+    }
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let mut acc = 0u64;
+    for _ in 0..CHURN_OPS {
+        let (at, v) = q.pop().expect("populated");
+        acc = acc.wrapping_add(v);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        q.schedule_at(at + SimDuration::from_nanos(1 + ((x >> 33) & 1023)), v);
+    }
+    acc
+}
+
+fn churn_new(prefill: u64) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::with_capacity(prefill as usize);
+    for i in 0..prefill {
+        q.schedule_at(SimTime::from_nanos(i), i);
+    }
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let mut acc = 0u64;
+    for _ in 0..CHURN_OPS {
+        let (at, v) = q.pop().expect("populated");
+        acc = acc.wrapping_add(v);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        q.schedule_at(at + SimDuration::from_nanos(1 + ((x >> 33) & 1023)), v);
+    }
+    acc
+}
+
+fn burst_old_boxed() -> u64 {
+    let mut q: OldQueue<Box<u64>> = OldQueue::new();
+    let mut acc = 0u64;
+    for round in 0..8u64 {
+        let t = SimTime::from_nanos(round);
+        for i in 0..BURST {
+            q.schedule_at(t, Box::new(i));
+        }
+        let mut expect = 0u64;
+        while let Some((_, v)) = q.pop() {
+            assert_eq!(*v, expect, "FIFO tie-break");
+            expect += 1;
+            acc = acc.wrapping_add(*v);
+        }
+    }
+    acc
+}
+
+fn burst_new() -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut acc = 0u64;
+    for round in 0..8u64 {
+        let t = SimTime::from_nanos(round);
+        for i in 0..BURST {
+            q.schedule_at(t, i);
+        }
+        let mut expect = 0u64;
+        while let Some((_, v)) = q.pop() {
+            assert_eq!(v, expect, "FIFO tie-break");
+            expect += 1;
+            acc = acc.wrapping_add(v);
+        }
+    }
+    acc
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_churn");
+    group.throughput(Throughput::Elements(CHURN_OPS));
+    for prefill in [64u64, 1024, 16_384] {
+        group.bench_function(BenchmarkId::new("old_boxed_payloads", prefill), |b| {
+            b.iter(|| black_box(churn_old_boxed(prefill)))
+        });
+        group.bench_function(BenchmarkId::new("old_inline_binary_heap", prefill), |b| {
+            b.iter(|| black_box(churn_old_inline(prefill)))
+        });
+        group.bench_function(BenchmarkId::new("new_4ary_arena", prefill), |b| {
+            b.iter(|| black_box(churn_new(prefill)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_burst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_same_timestamp_burst");
+    group.throughput(Throughput::Elements(8 * BURST));
+    group.bench_function("old_boxed_payloads", |b| b.iter(|| black_box(burst_old_boxed())));
+    group.bench_function("new_4ary_arena", |b| b.iter(|| black_box(burst_new())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn, bench_burst);
+criterion_main!(benches);

@@ -2,32 +2,103 @@
 //! DeLiBA-K paper.
 //!
 //! ```text
-//! harness [experiment ...] [--json]
+//! harness [experiment ...] [--json] [--out <path>] [--serial]
 //!
 //! experiments: fig3 fig4 fig6 fig7 fig8 fig9
 //!              table1 table2 table3 power realworld headline dfx
 //!              ablation mtu breakdown
+//!              perf (wall-clock gate; never part of `all`)
 //!              all (default)
+//!
+//! --json         emit the results as JSON instead of text tables
+//! --out <path>   write the JSON to <path> (implies --json)
+//! --serial       run every sweep on one thread (also: DELIBA_JOBS=n)
 //! ```
+//!
+//! Sweeps run cells on `DELIBA_JOBS` worker threads (default: all
+//! cores); output is byte-identical to a serial run either way.
 
 use deliba_bench::*;
 
+/// Everything `all` expands to.  `perf` is deliberately absent: its
+/// wall-clock cells are nondeterministic and `harness all` output must
+/// stay bit-reproducible run to run.
+const ALL: &[&str] = &[
+    "table1", "table2", "table3", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
+    "power", "realworld", "headline", "dfx", "ablation", "mtu", "breakdown",
+];
+
+const KNOWN: &[&str] = &[
+    "all", "table1", "table2", "table3", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
+    "power", "realworld", "headline", "dfx", "ablation", "mtu", "breakdown", "perf",
+];
+
+fn usage() -> ! {
+    eprintln!("usage: harness [experiment ...] [--json] [--out <path>] [--serial]");
+    eprintln!("experiments: {}", KNOWN.join(" "));
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let mut wanted: Vec<String> = args.into_iter().filter(|a| a != "--json").collect();
-    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        wanted = [
-            "table1", "table2", "table3", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
-            "power", "realworld", "headline", "dfx", "ablation", "mtu", "breakdown",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let mut json = false;
+    let mut serial = false;
+    let mut out: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--serial" => serial = true,
+            "--out" => match it.next() {
+                Some(p) => {
+                    json = true; // --out without --json still means JSON
+                    out = Some(p);
+                }
+                None => {
+                    eprintln!("--out requires a path");
+                    usage();
+                }
+            },
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+            name => wanted.push(name.to_string()),
+        }
     }
 
+    // Validate *every* name before running anything: a typo after three
+    // valid experiments must not exit mid-run with partial output.
+    let unknown: Vec<&String> = wanted.iter().filter(|w| !KNOWN.contains(&w.as_str())).collect();
+    if !unknown.is_empty() {
+        for u in unknown {
+            eprintln!("unknown experiment: {u}");
+        }
+        usage();
+    }
+
+    // Expand `all` in place, then dedupe preserving first occurrence, so
+    // `harness fig6 all fig6` runs each experiment exactly once.
+    if wanted.is_empty() {
+        wanted.push("all".into());
+    }
+    let mut expanded: Vec<String> = Vec::new();
+    for w in wanted {
+        if w == "all" {
+            expanded.extend(ALL.iter().map(|s| s.to_string()));
+        } else {
+            expanded.push(w);
+        }
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    expanded.retain(|w| seen.insert(w.clone()));
+
+    runner::set_serial(serial);
+
     let mut results: Vec<Experiment> = Vec::new();
-    for w in &wanted {
+    for w in &expanded {
         let exp = match w.as_str() {
             "fig3" => fig3(),
             "fig4" => fig4(),
@@ -45,10 +116,8 @@ fn main() {
             "ablation" => ablation(),
             "mtu" => mtu(),
             "breakdown" => breakdown(),
-            other => {
-                eprintln!("unknown experiment: {other}");
-                std::process::exit(2);
-            }
+            "perf" => perf(),
+            other => unreachable!("validated above: {other}"),
         };
         if !json {
             exp.print();
@@ -56,6 +125,15 @@ fn main() {
         results.push(exp);
     }
     if json {
-        println!("{}", serde_json::to_string_pretty(&results).expect("serializable"));
+        let body = serde_json::to_string_pretty(&results).expect("serializable");
+        match &out {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, body + "\n") {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            None => println!("{body}"),
+        }
     }
 }

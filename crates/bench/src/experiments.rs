@@ -108,40 +108,48 @@ fn sw_baseline(mode: Mode, id: &str) -> Experiment {
     // Paper anchor values quoted in §III-C2 (4 kB random):
     // latency 130→85 µs (read) and 98→80 µs (write); EC throughput
     // ratios ×2.4 (read) ×2.88 (write).
-    let mut cells = Vec::new();
+    let mut combos = Vec::new();
     for g in [Generation::DeLiBA2, Generation::DeLiBAK] {
-        let cfg = EngineConfig::new(g, false, mode);
         for (rw, pat, bs) in [
             (RwMode::Read, Pattern::Rand, 4096u32),
             (RwMode::Write, Pattern::Rand, 4096),
             (RwMode::Read, Pattern::Seq, 131072),
             (RwMode::Write, Pattern::Seq, 131072),
         ] {
-            let probe = run(cfg, FioSpec::latency_probe(rw, pat, bs, PROBE_OPS));
-            let paper_lat = match (g, rw, pat, mode) {
-                (Generation::DeLiBA2, RwMode::Read, Pattern::Rand, _) => Some(130.0),
-                (Generation::DeLiBA2, RwMode::Write, Pattern::Rand, _) => Some(98.0),
-                (Generation::DeLiBAK, RwMode::Read, Pattern::Rand, _) => Some(85.0),
-                (Generation::DeLiBAK, RwMode::Write, Pattern::Rand, _) => Some(80.0),
-                _ => None,
-            };
-            cells.push(Cell {
+            combos.push((g, rw, pat, bs));
+        }
+    }
+    let cells: Vec<Cell> = crate::runner::par_map(combos, |(g, rw, pat, bs)| {
+        let cfg = EngineConfig::new(g, false, mode);
+        let probe = run(cfg, FioSpec::latency_probe(rw, pat, bs, PROBE_OPS));
+        let paper_lat = match (g, rw, pat, mode) {
+            (Generation::DeLiBA2, RwMode::Read, Pattern::Rand, _) => Some(130.0),
+            (Generation::DeLiBA2, RwMode::Write, Pattern::Rand, _) => Some(98.0),
+            (Generation::DeLiBAK, RwMode::Read, Pattern::Rand, _) => Some(85.0),
+            (Generation::DeLiBAK, RwMode::Write, Pattern::Rand, _) => Some(80.0),
+            _ => None,
+        };
+        let tput = run(cfg, FioSpec::paper(rw, pat, bs, CELL_OPS.min(2_000)));
+        [
+            Cell {
                 config: format!("{}-SW", gen_name(g)),
                 workload: probe.workload.clone(),
                 unit: "µs",
                 measured: probe.mean_latency_us,
                 paper: paper_lat,
-            });
-            let tput = run(cfg, FioSpec::paper(rw, pat, bs, CELL_OPS.min(2_000)));
-            cells.push(Cell {
+            },
+            Cell {
                 config: format!("{}-SW", gen_name(g)),
                 workload: tput.workload.clone(),
                 unit: "MB/s",
                 measured: tput.throughput_mbps,
                 paper: None,
-            });
-        }
-    }
+            },
+        ]
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     Experiment {
         id: id.to_string(),
         caption: format!(
@@ -182,9 +190,8 @@ fn fig6_paper(g: Generation, rw: RwMode, pat: Pattern, bs: u32) -> Option<f64> {
 }
 
 fn hw_sweep(mode: Mode, gens: &[Generation], id: &str, caption: &str, kiops: bool) -> Experiment {
-    let mut cells = Vec::new();
+    let mut combos = Vec::new();
     for &g in gens {
-        let cfg = EngineConfig::new(g, true, mode);
         for (rw, pat) in [
             (RwMode::Read, Pattern::Seq),
             (RwMode::Read, Pattern::Rand),
@@ -192,26 +199,30 @@ fn hw_sweep(mode: Mode, gens: &[Generation], id: &str, caption: &str, kiops: boo
             (RwMode::Write, Pattern::Rand),
         ] {
             for bs in [4096u32, 8192, 65536, 131072] {
-                let r = run(cfg, FioSpec::paper(rw, pat, bs, CELL_OPS));
-                let paper = if !kiops && mode == Mode::Replication {
-                    fig6_paper(g, rw, pat, bs)
-                } else if kiops && mode == Mode::Replication && g == Generation::DeLiBAK
-                    && rw == RwMode::Read && pat == Pattern::Rand && bs == 4096
-                {
-                    Some(59.0) // §VI: "our 59K IOPS"
-                } else {
-                    None
-                };
-                cells.push(Cell {
-                    config: gen_name(g),
-                    workload: r.workload.clone(),
-                    unit: if kiops { "KIOPS" } else { "MB/s" },
-                    measured: if kiops { r.kiops } else { r.throughput_mbps },
-                    paper,
-                });
+                combos.push((g, rw, pat, bs));
             }
         }
     }
+    let cells = crate::runner::par_map(combos, |(g, rw, pat, bs)| {
+        let cfg = EngineConfig::new(g, true, mode);
+        let r = run(cfg, FioSpec::paper(rw, pat, bs, CELL_OPS));
+        let paper = if !kiops && mode == Mode::Replication {
+            fig6_paper(g, rw, pat, bs)
+        } else if kiops && mode == Mode::Replication && g == Generation::DeLiBAK
+            && rw == RwMode::Read && pat == Pattern::Rand && bs == 4096
+        {
+            Some(59.0) // §VI: "our 59K IOPS"
+        } else {
+            None
+        };
+        Cell {
+            config: gen_name(g),
+            workload: r.workload.clone(),
+            unit: if kiops { "KIOPS" } else { "MB/s" },
+            measured: if kiops { r.kiops } else { r.throughput_mbps },
+            paper,
+        }
+    });
     Experiment {
         id: id.to_string(),
         caption: caption.to_string(),
@@ -350,7 +361,6 @@ pub fn table2_paper(g: Generation, mode: Mode, rw: RwMode, pat: Pattern) -> Opti
 
 /// Table II: I/O request latency at 4 kB across generations and modes.
 pub fn table2() -> Experiment {
-    let mut cells = Vec::new();
     let rows: [(Generation, Mode); 5] = [
         (Generation::DeLiBA1, Mode::Replication),
         (Generation::DeLiBA2, Mode::Replication),
@@ -358,24 +368,28 @@ pub fn table2() -> Experiment {
         (Generation::DeLiBA2, Mode::ErasureCoding),
         (Generation::DeLiBAK, Mode::ErasureCoding),
     ];
+    let mut combos = Vec::new();
     for (g, mode) in rows {
-        let cfg = EngineConfig::new(g, true, mode);
         for (rw, pat) in [
             (RwMode::Read, Pattern::Seq),
             (RwMode::Write, Pattern::Seq),
             (RwMode::Read, Pattern::Rand),
             (RwMode::Write, Pattern::Rand),
         ] {
-            let r = run(cfg, FioSpec::latency_probe(rw, pat, 4096, PROBE_OPS));
-            cells.push(Cell {
-                config: format!("{} ({})", gen_name(g), mode.label()),
-                workload: r.workload.clone(),
-                unit: "µs",
-                measured: r.mean_latency_us,
-                paper: table2_paper(g, mode, rw, pat),
-            });
+            combos.push((g, mode, rw, pat));
         }
     }
+    let cells = crate::runner::par_map(combos, |(g, mode, rw, pat)| {
+        let cfg = EngineConfig::new(g, true, mode);
+        let r = run(cfg, FioSpec::latency_probe(rw, pat, 4096, PROBE_OPS));
+        Cell {
+            config: format!("{} ({})", gen_name(g), mode.label()),
+            workload: r.workload.clone(),
+            unit: "µs",
+            measured: r.mean_latency_us,
+            paper: table2_paper(g, mode, rw, pat),
+        }
+    });
     Experiment {
         id: "Table II".into(),
         caption: "I/O request latency (4 kB), hardware-accelerated".into(),
@@ -477,34 +491,41 @@ pub fn power() -> Experiment {
 
 /// §I real-world claim: ≈30 % execution-time reduction for OLAP/OLTP.
 pub fn realworld() -> Experiment {
-    let mut cells = Vec::new();
-    let mut reductions = Vec::new();
-    for (name, jobs, qd) in [
-        // Dependent I/O within a query/transaction: shallow queues.
-        ("OLAP", OlapSpec::default().generate(), 2u32),
-        ("OLTP", OltpSpec::default().generate(), 4),
-    ] {
-        let mut times = Vec::new();
+    // Dependent I/O within a query/transaction: shallow queues.  One
+    // cell per (workload, generation) pair, each with its own engine.
+    let mut runs = Vec::new();
+    for (name, qd) in [("OLAP", 2u32), ("OLTP", 4)] {
         for g in [Generation::DeLiBA2, Generation::DeLiBAK] {
-            let mut e = Engine::new(EngineConfig::new(g, true, Mode::Replication));
-            let r = e.run_trace(jobs.clone(), qd);
-            assert_eq!(e.verify_failures(), 0);
+            runs.push((name, qd, g));
+        }
+    }
+    let times = crate::runner::par_map(runs, |(name, qd, g)| {
+        let jobs = match name {
+            "OLAP" => OlapSpec::default().generate(),
+            _ => OltpSpec::default().generate(),
+        };
+        let mut e = Engine::new(EngineConfig::new(g, true, Mode::Replication));
+        let r = e.run_trace(jobs, qd);
+        assert_eq!(e.verify_failures(), 0);
+        r.window_s
+    });
+    let mut cells = Vec::new();
+    for (w, name) in ["OLAP", "OLTP"].into_iter().enumerate() {
+        let (d2, dk) = (times[2 * w], times[2 * w + 1]);
+        for (g, t) in [(Generation::DeLiBA2, d2), (Generation::DeLiBAK, dk)] {
             cells.push(Cell {
                 config: gen_name(g),
                 workload: format!("{name} execution time"),
                 unit: "s",
-                measured: r.window_s,
+                measured: t,
                 paper: None,
             });
-            times.push(r.window_s);
         }
-        let reduction = 100.0 * (times[0] - times[1]) / times[0];
-        reductions.push(reduction);
         cells.push(Cell {
             config: "DeLiBA-K vs D2".into(),
             workload: format!("{name} time reduction"),
             unit: "%",
-            measured: reduction,
+            measured: 100.0 * (d2 - dk) / d2,
             paper: Some(30.0),
         });
     }
@@ -523,15 +544,14 @@ pub fn realworld() -> Experiment {
 pub fn headline() -> Experiment {
     // The sweep covers exactly the cells the paper's figures report
     // (rand-read/-write at small blocks, seq-write at large blocks).
-    let mut best_iops = 0.0f64;
-    let mut best_tput = 0.0f64;
-    for (rw, pat, bs) in [
+    let specs = vec![
         (RwMode::Read, Pattern::Rand, 4096u32),
         (RwMode::Write, Pattern::Rand, 4096),
         (RwMode::Write, Pattern::Rand, 8192),
         (RwMode::Write, Pattern::Seq, 65536),
         (RwMode::Write, Pattern::Seq, 131072),
-    ] {
+    ];
+    let ratios = crate::runner::par_map(specs, |(rw, pat, bs)| {
         let dk = run(
             EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication),
             FioSpec::paper(rw, pat, bs, CELL_OPS),
@@ -540,8 +560,13 @@ pub fn headline() -> Experiment {
             EngineConfig::new(Generation::DeLiBA2, true, Mode::Replication),
             FioSpec::paper(rw, pat, bs, CELL_OPS),
         );
-        best_iops = best_iops.max(dk.kiops / d2.kiops);
-        best_tput = best_tput.max(dk.throughput_mbps / d2.throughput_mbps);
+        (dk.kiops / d2.kiops, dk.throughput_mbps / d2.throughput_mbps)
+    });
+    let mut best_iops = 0.0f64;
+    let mut best_tput = 0.0f64;
+    for (ri, rt) in ratios {
+        best_iops = best_iops.max(ri);
+        best_tput = best_tput.max(rt);
     }
     Experiment {
         id: "§I headline".into(),
@@ -655,12 +680,17 @@ pub fn ablation() -> Experiment {
         ("⑥ RTL TCP/IP TX+RX", |f| f.hw_tcp = TcpStackKind::RtlFpga),
     ];
 
-    let mut cells = Vec::new();
+    // The feature sets are cumulative, so build the per-step configs
+    // serially first; the measurements themselves are independent.
     let mut features = base;
+    let mut step_cfgs = Vec::new();
     for (label, apply) in steps {
         apply(&mut features);
         let mut cfg = EngineConfig::new(Generation::DeLiBA2, true, Mode::Replication);
         cfg.features = features;
+        step_cfgs.push((label, cfg));
+    }
+    let cells: Vec<Cell> = crate::runner::par_map(step_cfgs, |(label, cfg)| {
         let tput = {
             let mut e = Engine::new(cfg);
             e.run_fio(&FioSpec::paper(RwMode::Write, Pattern::Rand, 4096, 3_000))
@@ -671,21 +701,26 @@ pub fn ablation() -> Experiment {
             e.run_fio(&FioSpec::latency_probe(RwMode::Read, Pattern::Rand, 4096, PROBE_OPS))
                 .mean_latency_us
         };
-        cells.push(Cell {
-            config: label.into(),
-            workload: "rand-write 4k".into(),
-            unit: "MB/s",
-            measured: tput,
-            paper: None,
-        });
-        cells.push(Cell {
-            config: label.into(),
-            workload: "rand-read 4k".into(),
-            unit: "µs",
-            measured: lat,
-            paper: None,
-        });
-    }
+        [
+            Cell {
+                config: label.into(),
+                workload: "rand-write 4k".into(),
+                unit: "MB/s",
+                measured: tput,
+                paper: None,
+            },
+            Cell {
+                config: label.into(),
+                workload: "rand-read 4k".into(),
+                unit: "µs",
+                measured: lat,
+                paper: None,
+            },
+        ]
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     Experiment {
         id: "Ablation".into(),
         caption: "cumulative effect of the six Fig. 2 optimizations (D2 path → DeLiBA-K path)".into(),
@@ -697,25 +732,28 @@ pub fn ablation() -> Experiment {
 /// bytes for standard Ethernet to 9018 bytes for Jumbo frames"): large
 /// sequential transfers gain from jumbo framing's wire efficiency.
 pub fn mtu() -> Experiment {
-    let mut cells = Vec::new();
+    let mut combos = Vec::new();
     for jumbo in [false, true] {
-        let mut cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication);
-        cfg.jumbo_frames = jumbo;
         for (rw, pat, bs) in [
             (RwMode::Write, Pattern::Seq, 131_072u32),
             (RwMode::Read, Pattern::Seq, 131_072),
             (RwMode::Write, Pattern::Rand, 4_096),
         ] {
-            let r = run(cfg, FioSpec::paper(rw, pat, bs, 2_500));
-            cells.push(Cell {
-                config: if jumbo { "jumbo 9018 B" } else { "standard 1518 B" }.into(),
-                workload: r.workload.clone(),
-                unit: "MB/s",
-                measured: r.throughput_mbps,
-                paper: None,
-            });
+            combos.push((jumbo, rw, pat, bs));
         }
     }
+    let cells = crate::runner::par_map(combos, |(jumbo, rw, pat, bs)| {
+        let mut cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication);
+        cfg.jumbo_frames = jumbo;
+        let r = run(cfg, FioSpec::paper(rw, pat, bs, 2_500));
+        Cell {
+            config: if jumbo { "jumbo 9018 B" } else { "standard 1518 B" }.into(),
+            workload: r.workload.clone(),
+            unit: "MB/s",
+            measured: r.throughput_mbps,
+            paper: None,
+        }
+    });
     Experiment {
         id: "§IV-B MTU".into(),
         caption: "standard vs jumbo framing on the DeLiBA-K path".into(),
@@ -747,8 +785,9 @@ pub fn traced_probe(g: Generation, rw: RwMode, pat: Pattern, bs: u32) -> RunRepo
 /// exactly zero.
 pub fn breakdown() -> Experiment {
     use deliba_sim::Stage;
-    let mut cells = Vec::new();
-    for g in [Generation::DeLiBA1, Generation::DeLiBA2, Generation::DeLiBAK] {
+    let gens = vec![Generation::DeLiBA1, Generation::DeLiBA2, Generation::DeLiBAK];
+    let cells: Vec<Cell> = crate::runner::par_map(gens, |g| {
+        let mut cells = Vec::new();
         let r = traced_probe(g, RwMode::Read, Pattern::Rand, 4096);
         let b = r.breakdown.as_ref().expect("traced run has a breakdown");
         // The decomposition must account for the whole mean latency.
@@ -796,11 +835,88 @@ pub fn breakdown() -> Experiment {
             measured: b.stage_sum_us,
             paper: table2_paper(g, Mode::Replication, RwMode::Read, Pattern::Rand),
         });
-    }
+        cells
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     Experiment {
         id: "Table II (stages)".into(),
         caption: "per-stage latency decomposition, rand-read 4 kB, qd 1".into(),
         cells,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Harness perf gate (not a paper artifact)
+// ---------------------------------------------------------------------
+
+/// Wall-clock perf gate: a fixed reference workload through the full
+/// engine plus a pure event-queue churn loop, reporting wall time and
+/// events per second.  This is the reproduction's own benchmark (CI
+/// tracks it as `BENCH_harness.json`), not a paper figure — and because
+/// wall-clock is nondeterministic it is deliberately *excluded* from
+/// `harness all`, whose output must stay bit-reproducible.
+pub fn perf() -> Experiment {
+    use deliba_sim::{EventQueue, SimDuration, SimTime};
+    use std::time::Instant;
+
+    // Reference workload: the Fig. 7 headline cell (DeLiBA-K hardware
+    // path, replication, 4 kB random read) at 5× the usual cell budget.
+    let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication);
+    let spec = FioSpec::paper(RwMode::Read, Pattern::Rand, 4096, 5 * CELL_OPS);
+    let mut e = Engine::new(cfg);
+    let t0 = Instant::now();
+    let r = e.run_fio(&spec);
+    let engine_wall = t0.elapsed().as_secs_f64();
+    assert_eq!(e.verify_failures(), 0);
+    let engine_evps = e.events_executed() as f64 / engine_wall.max(1e-9);
+
+    // Pure queue churn: steady-state schedule/pop with pseudo-random
+    // deltas — the simulator hot loop with the engine stripped away.
+    const CHURN: u64 = 1_000_000;
+    let mut q: EventQueue<u64> = EventQueue::with_capacity(1024);
+    for i in 0..1024u64 {
+        q.schedule_at(SimTime::from_nanos(i), i);
+    }
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let t0 = Instant::now();
+    for _ in 0..CHURN {
+        let (at, v) = q.pop().expect("queue stays populated");
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        q.schedule_at(at + SimDuration::from_nanos(1 + ((x >> 33) & 1023)), v);
+    }
+    let queue_wall = t0.elapsed().as_secs_f64();
+    let queue_evps = CHURN as f64 / queue_wall.max(1e-9);
+
+    Experiment {
+        id: "perf".into(),
+        caption: "harness perf gate: wall-clock + events/sec on the reference workload".into(),
+        cells: vec![
+            Cell {
+                config: "engine closed loop".into(),
+                workload: r.workload.clone(),
+                unit: "s",
+                measured: engine_wall,
+                paper: None,
+            },
+            Cell {
+                config: "engine closed loop".into(),
+                workload: "events per second".into(),
+                unit: "ev/s",
+                measured: engine_evps,
+                paper: None,
+            },
+            Cell {
+                config: "event queue".into(),
+                workload: "schedule/pop churn".into(),
+                unit: "ev/s",
+                measured: queue_evps,
+                paper: None,
+            },
+        ],
     }
 }
 

@@ -8,5 +8,6 @@
 //! factor) rather than absolute values.
 
 pub mod experiments;
+pub mod runner;
 
 pub use experiments::*;

@@ -1,0 +1,81 @@
+//! Determinism gates for the parallel harness.
+//!
+//! The contract: `harness all --json` is byte-reproducible — across
+//! runs, and across serial vs parallel sweep execution.  These tests
+//! pin both properties at the library level (the CI perf-smoke job
+//! additionally diffs whole-process output).
+
+use deliba_bench::runner;
+use deliba_core::{Engine, EngineConfig, FioSpec, Generation, Mode, Pattern, RwMode};
+
+/// Same seed, same config → bit-identical serialized `RunReport`.
+#[test]
+fn same_seed_reports_are_bit_identical() {
+    let run = |g, mode, rw| {
+        let mut e = Engine::new(EngineConfig::new(g, true, mode));
+        let r = e.run_fio(&FioSpec::paper(rw, Pattern::Rand, 4096, 1_500));
+        serde_json::to_string(&r).expect("serializable")
+    };
+    for (g, mode, rw) in [
+        (Generation::DeLiBAK, Mode::Replication, RwMode::Write),
+        (Generation::DeLiBAK, Mode::ErasureCoding, RwMode::Read),
+        (Generation::DeLiBA2, Mode::Replication, RwMode::Read),
+    ] {
+        assert_eq!(
+            run(g, mode, rw),
+            run(g, mode, rw),
+            "{g:?}/{mode:?}/{rw:?} must reproduce bit-identically"
+        );
+    }
+}
+
+/// A representative sweep (Table II: 20 cells, five engine configs)
+/// serializes byte-identically whether cells run on one thread or
+/// several.  `DELIBA_JOBS` forces multiple workers even on single-core
+/// runners so the parallel path is genuinely exercised.
+#[test]
+fn serial_and_parallel_sweeps_are_byte_identical() {
+    std::env::set_var("DELIBA_JOBS", "3");
+    runner::set_serial(true);
+    let serial = serde_json::to_string(&deliba_bench::table2()).expect("serializable");
+    runner::set_serial(false);
+    let parallel = serde_json::to_string(&deliba_bench::table2()).expect("serializable");
+    std::env::remove_var("DELIBA_JOBS");
+    assert_eq!(serial, parallel, "sweep output must not depend on worker count");
+}
+
+/// Full-harness equivalent of the test above — every experiment in
+/// `all`, serial vs 4 workers.  Minutes of runtime, so opt-in:
+/// `cargo test -p deliba-bench --test determinism -- --ignored`.
+#[test]
+#[ignore = "minutes of runtime; run explicitly before perf-sensitive changes"]
+fn full_harness_serial_vs_parallel() {
+    let all = || -> String {
+        let exps = vec![
+            deliba_bench::table1(),
+            deliba_bench::table2(),
+            deliba_bench::table3(),
+            deliba_bench::fig3(),
+            deliba_bench::fig4(),
+            deliba_bench::fig6(),
+            deliba_bench::fig7(),
+            deliba_bench::fig8(),
+            deliba_bench::fig9(),
+            deliba_bench::power(),
+            deliba_bench::realworld(),
+            deliba_bench::headline(),
+            deliba_bench::dfx(),
+            deliba_bench::ablation(),
+            deliba_bench::mtu(),
+            deliba_bench::breakdown(),
+        ];
+        serde_json::to_string_pretty(&exps).expect("serializable")
+    };
+    std::env::set_var("DELIBA_JOBS", "4");
+    runner::set_serial(true);
+    let serial = all();
+    runner::set_serial(false);
+    let parallel = all();
+    std::env::remove_var("DELIBA_JOBS");
+    assert_eq!(serial, parallel);
+}

@@ -520,6 +520,24 @@ impl Cluster {
         len: usize,
         random: bool,
     ) -> Option<(Bytes, IoOutcome)> {
+        let mut out = Vec::new();
+        let outcome = self.read_replicated_into(now, oid, offset, len, random, &mut out)?;
+        Some((Bytes::from(out), outcome))
+    }
+
+    /// [`Cluster::read_replicated`] into a caller-supplied buffer —
+    /// identical candidate order, timing and RNG stream; `out` is
+    /// resized to `len`.  The engine's closed loop recycles one buffer
+    /// across every read this way.
+    pub fn read_replicated_into(
+        &mut self,
+        now: SimTime,
+        oid: ObjectId,
+        offset: usize,
+        len: usize,
+        random: bool,
+        out: &mut Vec<u8>,
+    ) -> Option<IoOutcome> {
         let pool = self.pool(oid.pool).clone();
         let acting = self.map.acting_set(pool.pg_of(oid));
         let written = self.replica_dir.contains_key(&oid);
@@ -548,21 +566,18 @@ impl Cluster {
             // sparse read) with ordinary media timing.
             let server = self.server_of(osd);
             let at_osd = self.topology.client_to_server(now, server, CONTROL_BYTES);
-            let (data, fin) = self.osds[osd as usize]
-                .read_object_at(at_osd, oid, offset, len, random)
+            let fin = self.osds[osd as usize]
+                .read_object_at_into(at_osd, oid, offset, len, random, out)
                 .expect("checked up");
             let done = self.topology.server_to_client(fin, server, len as u64);
-            return Some((
-                data,
-                IoOutcome {
-                    complete: done,
-                    bytes: len as u64,
-                    degraded: written && (degraded || rank > 0),
-                    net_tx: at_osd.saturating_since(now),
-                    osd_service: fin.saturating_since(at_osd),
-                    net_rx: done.saturating_since(fin),
-                },
-            ));
+            return Some(IoOutcome {
+                complete: done,
+                bytes: len as u64,
+                degraded: written && (degraded || rank > 0),
+                net_tx: at_osd.saturating_since(now),
+                osd_service: fin.saturating_since(at_osd),
+                net_rx: done.saturating_since(fin),
+            });
         }
         None
     }
@@ -578,6 +593,22 @@ impl Cluster {
         len: usize,
         random: bool,
     ) -> Option<(Bytes, IoOutcome)> {
+        let mut out = Vec::new();
+        let outcome = self.read_ec_sparse_into(now, oid, len, random, &mut out)?;
+        Some((Bytes::from(out), outcome))
+    }
+
+    /// [`Cluster::read_ec_sparse`] into a caller-supplied buffer (`out`
+    /// ends up `len` zero bytes) — identical timing and RNG stream, no
+    /// allocation beyond the buffer's own growth.
+    pub fn read_ec_sparse_into(
+        &mut self,
+        now: SimTime,
+        oid: ObjectId,
+        len: usize,
+        random: bool,
+        out: &mut Vec<u8>,
+    ) -> Option<IoOutcome> {
         let pool = self.pool(oid.pool).clone();
         let PoolKind::Erasure { k, .. } = pool.kind else {
             panic!("read_ec_sparse on a non-EC pool");
@@ -597,8 +628,10 @@ impl Cluster {
             }
             let server = self.server_of(osd);
             let at_osd = self.topology.client_to_server(now, server, CONTROL_BYTES);
-            let (_, fin) = self.osds[osd as usize]
-                .read_object_at(at_osd, oid, 0, shard_len, random)
+            // The shard probe's payload is discarded (ENOENT fast path);
+            // `out` doubles as the scratch target, then zero-fills below.
+            let fin = self.osds[osd as usize]
+                .read_object_at_into(at_osd, oid, 0, shard_len, random, out)
                 .expect("checked up");
             let done = self
                 .topology
@@ -612,17 +645,16 @@ impl Cluster {
             return None;
         }
         last_fin = last_fin.max(last_arrive);
-        Some((
-            Bytes::from(vec![0u8; len]),
-            IoOutcome {
-                complete: commit,
-                bytes: len as u64,
-                degraded: false,
-                net_tx: last_arrive.saturating_since(now),
-                osd_service: last_fin.saturating_since(last_arrive),
-                net_rx: commit.saturating_since(last_fin),
-            },
-        ))
+        out.clear();
+        out.resize(len, 0);
+        Some(IoOutcome {
+            complete: commit,
+            bytes: len as u64,
+            degraded: false,
+            net_tx: last_arrive.saturating_since(now),
+            osd_service: last_fin.saturating_since(last_arrive),
+            net_rx: commit.saturating_since(last_fin),
+        })
     }
 
     /// Has an EC object been written (shards recorded)?
@@ -697,6 +729,21 @@ impl Cluster {
         oid: ObjectId,
         random: bool,
     ) -> Option<(Bytes, IoOutcome)> {
+        let mut out = Vec::new();
+        let outcome = self.read_ec_into(now, oid, random, &mut out)?;
+        Some((Bytes::from(out), outcome))
+    }
+
+    /// [`Cluster::read_ec`] with the reconstructed payload delivered into
+    /// a caller-supplied buffer — identical gather order, timing and RNG
+    /// stream.
+    pub fn read_ec_into(
+        &mut self,
+        now: SimTime,
+        oid: ObjectId,
+        random: bool,
+        out: &mut Vec<u8>,
+    ) -> Option<IoOutcome> {
         let pool = self.pool(oid.pool).clone();
         let PoolKind::Erasure { k, m } = pool.kind else {
             panic!("read_ec on a non-EC pool");
@@ -722,8 +769,9 @@ impl Cluster {
                 continue;
             };
             let at_osd = self.topology.client_to_server(now, server, CONTROL_BYTES);
-            let (data, fin) = self.osds[osd as usize]
-                .read_object_at(at_osd, oid, 0, shard_len, random)
+            let mut data = Vec::new();
+            let fin = self.osds[osd as usize]
+                .read_object_at_into(at_osd, oid, 0, shard_len, random, &mut data)
                 .expect("checked up");
             let done = self
                 .topology
@@ -731,7 +779,7 @@ impl Cluster {
             commit = commit.max(done);
             last_arrive = last_arrive.max(at_osd);
             last_fin = last_fin.max(fin);
-            slots[idx] = Some(data.to_vec());
+            slots[idx] = Some(data);
             fetched += 1;
         }
         if fetched < k {
@@ -739,19 +787,16 @@ impl Cluster {
         }
         let rs = ReedSolomon::new(k, m);
         rs.reconstruct(&mut slots).ok()?;
-        let payload = rs.join(&slots, original_len);
+        *out = rs.join(&slots, original_len);
         last_fin = last_fin.max(last_arrive);
-        Some((
-            Bytes::from(payload),
-            IoOutcome {
-                complete: commit,
-                bytes: original_len as u64,
-                degraded: skipped_any,
-                net_tx: last_arrive.saturating_since(now),
-                osd_service: last_fin.saturating_since(last_arrive),
-                net_rx: commit.saturating_since(last_fin),
-            },
-        ))
+        Some(IoOutcome {
+            complete: commit,
+            bytes: original_len as u64,
+            degraded: skipped_any,
+            net_tx: last_arrive.saturating_since(now),
+            osd_service: last_fin.saturating_since(last_arrive),
+            net_rx: commit.saturating_since(last_fin),
+        })
     }
 
     /// Deep scrub of a pool: byte-compare every replicated copy, and for

@@ -61,8 +61,38 @@ impl StoredObject {
         self.version += 1;
     }
 
+    /// Replace the whole object with `data`, recycling page allocations.
+    /// Pages the new contents cover are overwritten in place (tail
+    /// zero-filled); pages beyond the new extent are dropped so sparse
+    /// reads past the end still see zeros.
+    fn replace(&mut self, data: &[u8]) {
+        let npages = data.len().div_ceil(PAGE) as u32;
+        // Drop pages past the new extent (split_off keeps the prefix).
+        let tail = self.pages.split_off(&npages);
+        drop(tail);
+        for (i, chunk) in data.chunks(PAGE).enumerate() {
+            let page = self
+                .pages
+                .entry(i as u32)
+                .or_insert_with(|| Box::new([0u8; PAGE]));
+            page[..chunk.len()].copy_from_slice(chunk);
+            if chunk.len() < PAGE {
+                page[chunk.len()..].fill(0);
+            }
+        }
+        self.len = data.len();
+        self.version += 1;
+    }
+
     fn read_at(&self, offset: usize, len: usize) -> Vec<u8> {
         let mut out = vec![0u8; len];
+        self.read_into(offset, &mut out);
+        out
+    }
+
+    /// Fill `out` (already zeroed, `out.len()` bytes) from `offset`.
+    fn read_into(&self, offset: usize, out: &mut [u8]) {
+        let len = out.len();
         let mut cur = offset;
         let mut filled = 0;
         while filled < len {
@@ -75,7 +105,6 @@ impl StoredObject {
             cur += n;
             filled += n;
         }
-        out
     }
 }
 
@@ -93,19 +122,15 @@ impl ObjectStore {
         Self::default()
     }
 
-    /// Write (replace) a whole object; returns the new version.
+    /// Write (replace) a whole object; returns the new version.  An
+    /// existing object's page allocations are reused rather than freed
+    /// and reallocated — full-object overwrites (EC shards, replication
+    /// full writes) are the store's hottest path.
     pub fn write(&mut self, id: ObjectId, data: Bytes) -> u64 {
         self.bytes_written += data.len() as u64;
-        let version = self.objects.get(&id).map(|o| o.version).unwrap_or(0);
-        let mut obj = StoredObject {
-            version,
-            ..Default::default()
-        };
-        obj.write_at(0, &data);
-        obj.len = data.len();
-        let v = obj.version;
-        self.objects.insert(id, obj);
-        v
+        let obj = self.objects.entry(id).or_default();
+        obj.replace(&data);
+        obj.version
     }
 
     /// Partial overwrite at `offset`, extending the object if needed;
@@ -127,10 +152,20 @@ impl ObjectStore {
     /// Read `len` bytes at `offset` (zero-filled past the end, like a
     /// sparse RBD object).
     pub fn read_at(&mut self, id: ObjectId, offset: usize, len: usize) -> Bytes {
+        let mut out = Vec::new();
+        self.read_at_into(id, offset, len, &mut out);
+        Bytes::from(out)
+    }
+
+    /// [`ObjectStore::read_at`] into a caller-supplied buffer — the
+    /// allocation-free form the engine's closed loop uses (`out` is
+    /// resized to `len` and fully overwritten).
+    pub fn read_at_into(&mut self, id: ObjectId, offset: usize, len: usize, out: &mut Vec<u8>) {
         self.bytes_read += len as u64;
-        match self.objects.get(&id) {
-            Some(obj) => Bytes::from(obj.read_at(offset, len)),
-            None => Bytes::from(vec![0u8; len]),
+        out.clear();
+        out.resize(len, 0);
+        if let Some(obj) = self.objects.get(&id) {
+            obj.read_into(offset, out);
         }
     }
 

@@ -179,14 +179,30 @@ impl Osd {
         len: usize,
         random: bool,
     ) -> Option<(Bytes, SimTime)> {
+        let mut out = Vec::new();
+        let fin = self.read_object_at_into(arrive, id, offset, len, random, &mut out)?;
+        Some((Bytes::from(out), fin))
+    }
+
+    /// [`Osd::read_object_at`] into a caller-supplied buffer (resized to
+    /// `len`) — identical timing and RNG stream, no allocation.
+    pub fn read_object_at_into(
+        &mut self,
+        arrive: SimTime,
+        id: ObjectId,
+        offset: usize,
+        len: usize,
+        random: bool,
+        out: &mut Vec<u8>,
+    ) -> Option<SimTime> {
         if !self.up {
             return None;
         }
         let j = self.jitter();
         let service = self.profile.service(false, random, len as u64, j);
-        let data = self.store.read_at(id, offset, len);
+        self.store.read_at_into(id, offset, len, out);
         let (_, fin) = self.threads.begin(arrive, service);
-        Some((data, fin))
+        Some(fin)
     }
 
     /// Ops served so far.

@@ -19,17 +19,16 @@ use crate::generation::PathFeatures;
 use crate::hostpath::host_costs;
 use crate::report::RunReport;
 use crate::Generation;
-use bytes::Bytes;
 use deliba_cluster::{Cluster, ObjectId, RbdImage};
 use deliba_fpga::accel::HLS_LATENCY_INFLATION;
 use deliba_fpga::{AlveoU280, RmId};
 use deliba_net::TcpStack;
 use deliba_qdma::PciePipes;
 use deliba_sim::{
-    Counter, Histogram, Server, SimDuration, SimRng, SimTime, Stage, StageTracer, Xoshiro256,
+    Counter, EventQueue, Histogram, Server, SimDuration, SimRng, SimTime, Stage, StageTracer,
+    Xoshiro256,
 };
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 
 /// Pool / durability mode under test (every figure reports both).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -242,6 +241,14 @@ pub struct Engine {
     degraded_ops: u64,
     /// Stage-span tracer (present iff `cfg.trace_stages`).
     tracer: Option<StageTracer>,
+    /// Recycled payload buffer: write payloads are generated into this
+    /// scratch space instead of a fresh allocation per op.
+    scratch: Vec<u8>,
+    /// Recycled read buffer: cluster reads land here instead of a fresh
+    /// allocation per op.
+    read_buf: Vec<u8>,
+    /// Events executed by the closed-loop queue (perf accounting).
+    events: u64,
 }
 
 impl Engine {
@@ -273,6 +280,9 @@ impl Engine {
             verify_failures: 0,
             degraded_ops: 0,
             tracer: cfg.trace_stages.then(StageTracer::new),
+            scratch: Vec::new(),
+            read_buf: Vec::new(),
+            events: 0,
         }
     }
 
@@ -303,6 +313,13 @@ impl Engine {
         self.verify_failures
     }
 
+    /// Events executed by the closed-loop scheduler so far (one per
+    /// issued I/O token) — the denominator of the `harness perf`
+    /// events-per-second gauge.  Not part of any `RunReport`.
+    pub fn events_executed(&self) -> u64 {
+        self.events
+    }
+
     /// The stage tracer (`None` unless the config enabled tracing).
     pub fn tracer(&self) -> Option<&StageTracer> {
         self.tracer.as_ref()
@@ -325,23 +342,34 @@ impl Engine {
     }
 
     fn checksum(data: &[u8]) -> u64 {
-        // FNV-1a — cheap, deterministic.
+        // FNV-1a over 64-bit words (byte-wise tail) — cheap, deterministic,
+        // and only ever compared against itself within one run.
         let mut h = 0xcbf29ce484222325u64;
-        for &b in data {
+        let mut words = data.chunks_exact(8);
+        for w in words.by_ref() {
+            h ^= u64::from_le_bytes(w.try_into().expect("exact chunk"));
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        for &b in words.remainder() {
             h ^= b as u64;
             h = h.wrapping_mul(0x100000001b3);
         }
         h
     }
 
-    fn payload_for(&mut self, len: usize) -> Bytes {
-        let mut v = vec![0u8; len];
+    /// Fill the recycled scratch buffer with `len` deterministic payload
+    /// bytes.  Consumes exactly one `next_u64` per started 8-byte chunk —
+    /// the same RNG stream as a fresh allocation would.
+    fn payload_for(&mut self, len: usize) -> Vec<u8> {
+        let mut v = std::mem::take(&mut self.scratch);
+        v.clear();
+        v.resize(len, 0);
         for chunk in v.chunks_mut(8) {
             let word = self.rng.next_u64().to_le_bytes();
             let n = chunk.len();
             chunk.copy_from_slice(&word[..n]);
         }
-        Bytes::from(v)
+        v
     }
 
     /// Per-I/O sub-object for EC mode: the paper's accelerators encode
@@ -452,21 +480,29 @@ impl Engine {
                     .write_replicated_at(t, obj, obj_off as usize, data, op.random)
             }
             (Mode::Replication, false) => {
-                match self
-                    .cluster
-                    .read_replicated(t, obj, obj_off as usize, op.len as usize, op.random)
-                {
-                    Some((data, out)) => {
+                let mut buf = std::mem::take(&mut self.read_buf);
+                let res = self.cluster.read_replicated_into(
+                    t,
+                    obj,
+                    obj_off as usize,
+                    op.len as usize,
+                    op.random,
+                    &mut buf,
+                );
+                let out = match res {
+                    Some(out) => {
                         let key = (obj.name, (op.offset % self.image.object_size) as u32);
                         if let Some(&sum) = self.written.get(&key) {
-                            if Self::checksum(&data) != sum {
+                            if Self::checksum(&buf) != sum {
                                 self.verify_failures += 1;
                             }
                         }
                         Some(out)
                     }
                     None => None,
-                }
+                };
+                self.read_buf = buf;
+                out
             }
             (Mode::ErasureCoding, true) => {
                 let (shards, orig_len) = ec_shards.expect("EC write encoded");
@@ -479,25 +515,33 @@ impl Engine {
             }
             (Mode::ErasureCoding, false) => {
                 let oid = self.ec_oid(obj.name, op.offset);
+                let mut buf = std::mem::take(&mut self.read_buf);
                 let res = if self.cluster.ec_object_exists(oid) {
-                    self.cluster.read_ec(t, oid, op.random)
+                    self.cluster.read_ec_into(t, oid, op.random, &mut buf)
                 } else {
                     self.cluster
-                        .read_ec_sparse(t, oid, op.len as usize, op.random)
+                        .read_ec_sparse_into(t, oid, op.len as usize, op.random, &mut buf)
                 };
-                match res {
-                    Some((data, out)) => {
+                let out = match res {
+                    Some(out) => {
                         if let Some(&sum) = self.written.get(&(oid.name, 0)) {
-                            if Self::checksum(&data) != sum {
+                            if Self::checksum(&buf) != sum {
                                 self.verify_failures += 1;
                             }
                         }
                         Some(out)
                     }
                     None => None,
-                }
+                };
+                self.read_buf = buf;
+                out
             }
         };
+
+        // Recycle the payload buffer for the next write.
+        if let Some(buf) = payload {
+            self.scratch = buf;
+        }
 
         let Some(outcome) = outcome else {
             // The cluster could not serve the op (catastrophic failure
@@ -563,22 +607,23 @@ impl Engine {
         let mut hist = Histogram::new();
         let mut counter = Counter::new();
         let mut cursors: Vec<usize> = vec![0; jobs.len()];
-        // (ready_time, tiebreak, job)
-        let mut heap: BinaryHeap<Reverse<(SimTime, u64, u32)>> = BinaryHeap::new();
-        let mut tiebreak = 0u64;
+        // Completion tokens: one event per outstanding I/O, FIFO at equal
+        // timestamps (the queue's internal sequence number is the
+        // tiebreak, exactly as the explicit counter used to be).
+        let mut queue: EventQueue<u32> =
+            EventQueue::with_capacity(jobs.len() * iodepth as usize);
         for (j, ops) in jobs.iter().enumerate() {
             let tokens = (iodepth as usize).min(ops.len());
             for k in 0..tokens {
-                heap.push(Reverse((
+                queue.schedule_at(
                     SimTime::from_nanos(100 * (j * iodepth as usize + k) as u64),
-                    tiebreak,
                     j as u32,
-                )));
-                tiebreak += 1;
+                );
             }
         }
         let mut last_complete = SimTime::ZERO;
-        while let Some(Reverse((ready, _, job))) = heap.pop() {
+        while let Some((ready, job)) = queue.pop() {
+            self.events += 1;
             let idx = cursors[job as usize];
             if idx >= jobs[job as usize].len() {
                 continue;
@@ -592,8 +637,7 @@ impl Engine {
             hist.record(complete.saturating_since(start));
             counter.record(op.len as u64);
             last_complete = last_complete.max(complete);
-            heap.push(Reverse((complete, tiebreak, job)));
-            tiebreak += 1;
+            queue.schedule_at(complete, job);
         }
         let window = last_complete.saturating_since(SimTime::ZERO);
         let mut report = RunReport::new(

@@ -6,44 +6,57 @@
 //! structures* in the reproduction (io_uring rings, blk-mq tag sets) are
 //! separately validated with real threads; the *timing* model stays
 //! sequential so that every figure of the paper regenerates bit-identically.
+//!
+//! # Hot-path layout
+//!
+//! The queue is an index-based **4-ary min-heap** over `(SimTime, seq)`
+//! keys.  Heap entries are small `(key, slot)` records ordered in the
+//! heap vector; payloads live out-of-line in a slot arena whose entries
+//! are recycled through a free list, so a steady schedule/pop workload
+//! reaches a fixed memory footprint and stops calling the allocator
+//! altogether.  Compared with the former `BinaryHeap<Scheduled<E>>`:
+//!
+//! * sift operations move 24-byte entries instead of whole payloads;
+//! * the 4-ary shape halves the tree depth, trading two extra key
+//!   compares per level (branch-predictable, same cache line) for half
+//!   the cache-missing level hops;
+//! * keys stay inline in the heap vector, so comparisons never chase a
+//!   pointer into the arena.
+//!
+//! Pop order is a pure function of `(at, seq)`, so the replacement is
+//! bit-identical to the old queue for every schedule history.
 
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
-/// An entry in the queue: fire `payload` at `at`.
-struct Scheduled<E> {
+/// One heap record: the ordering key pair plus the arena slot holding
+/// the payload.
+#[derive(Clone, Copy)]
+struct Entry {
     at: SimTime,
     seq: u64,
-    payload: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl Entry {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
     }
 }
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first,
-        // with sequence number as a FIFO tiebreak.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
+
+/// Heap arity.  4 keeps parent+children inside one or two cache lines
+/// (4 × 24 B) and halves the depth of the binary layout.
+const ARITY: usize = 4;
 
 /// A min-ordered queue of timestamped events with deterministic FIFO
 /// tie-breaking.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// Implicit 4-ary heap of `(key, slot)` records.
+    heap: Vec<Entry>,
+    /// Slot arena: payload storage indexed by `Entry::slot`.
+    slots: Vec<Option<E>>,
+    /// Recycled arena slots.
+    free: Vec<u32>,
     next_seq: u64,
     now: SimTime,
 }
@@ -58,7 +71,20 @@ impl<E> EventQueue<E> {
     /// Empty queue at t = 0.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Empty queue with room for `n` pending events before reallocating.
+    pub fn with_capacity(n: usize) -> Self {
+        EventQueue {
+            heap: Vec::with_capacity(n),
+            slots: Vec::with_capacity(n),
+            free: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -82,6 +108,13 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
+    /// Arena capacity currently allocated (slots live + recycled).  The
+    /// steady-state footprint of a schedule/pop loop: stops growing once
+    /// the high-water mark of concurrently pending events is reached.
+    pub fn arena_slots(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Schedule `payload` at absolute time `at`.
     ///
     /// # Panics
@@ -91,7 +124,19 @@ impl<E> EventQueue<E> {
         assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, payload });
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(payload);
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Some(payload));
+                s
+            }
+        };
+        self.heap.push(Entry { at, seq, slot });
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Schedule `payload` after `delay` from now.
@@ -101,27 +146,106 @@ impl<E> EventQueue<E> {
 
     /// Pop the next event, advancing virtual time to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|s| {
-            debug_assert!(s.at >= self.now, "clock went backwards");
-            self.now = s.at;
-            (s.at, s.payload)
-        })
+        if self.heap.is_empty() {
+            return None;
+        }
+        Some(self.pop_root())
+    }
+
+    /// Pop the next event only if it is due at or before `deadline` —
+    /// the fused form of `peek_time` + `pop` (one root access, one
+    /// traversal, no double bounds checks on the hot loop).
+    pub fn pop_if_at_most(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.heap.first() {
+            Some(e) if e.at <= deadline => Some(self.pop_root()),
+            _ => None,
+        }
     }
 
     /// Timestamp of the next pending event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        self.heap.first().map(|e| e.at)
+    }
+
+    fn pop_root(&mut self) -> (SimTime, E) {
+        let root = self.heap.swap_remove(0);
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        debug_assert!(root.at >= self.now, "clock went backwards");
+        self.now = root.at;
+        let payload = self.slots[root.slot as usize]
+            .take()
+            .expect("heap entry points at a live slot");
+        self.free.push(root.slot);
+        (root.at, payload)
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        let moved = self.heap[i];
+        let key = moved.key();
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.heap[parent].key() <= key {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = moved;
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut i: usize) {
+        let moved = self.heap[i];
+        let key = moved.key();
+        let len = self.heap.len();
+        loop {
+            let first = i * ARITY + 1;
+            if first >= len {
+                break;
+            }
+            // Smallest of up to four children.
+            let end = (first + ARITY).min(len);
+            let mut min_c = first;
+            let mut min_key = self.heap[first].key();
+            for c in first + 1..end {
+                let k = self.heap[c].key();
+                if k < min_key {
+                    min_c = c;
+                    min_key = k;
+                }
+            }
+            if key <= min_key {
+                break;
+            }
+            self.heap[i] = self.heap[min_c];
+            i = min_c;
+        }
+        self.heap[i] = moved;
     }
 }
 
 type Callback<S> = Box<dyn FnOnce(&mut Simulator<S>, &mut S)>;
 
+/// A scheduled unit of work: either a plain function pointer (zero
+/// allocation — the common case for self-rescheduling processes) or a
+/// boxed closure carrying captured state.
+enum Event<S> {
+    Fn(fn(&mut Simulator<S>, &mut S)),
+    Closure(Callback<S>),
+}
+
 /// A callback-driven discrete-event simulator over user state `S`.
 ///
 /// Components schedule closures; each closure receives the simulator (to
-/// schedule follow-up events) and the shared simulation state.
+/// schedule follow-up events) and the shared simulation state.  Capture-
+/// free callbacks can use [`Simulator::schedule_fn`] to skip the
+/// per-event closure box entirely; the queue's slot arena recycles the
+/// event records themselves either way.
 pub struct Simulator<S> {
-    queue: EventQueue<Callback<S>>,
+    queue: EventQueue<Event<S>>,
     executed: u64,
 }
 
@@ -163,7 +287,7 @@ impl<S> Simulator<S> {
     where
         F: FnOnce(&mut Simulator<S>, &mut S) + 'static,
     {
-        self.queue.schedule_in(delay, Box::new(f));
+        self.queue.schedule_in(delay, Event::Closure(Box::new(f)));
     }
 
     /// Schedule a closure at an absolute time.
@@ -171,19 +295,29 @@ impl<S> Simulator<S> {
     where
         F: FnOnce(&mut Simulator<S>, &mut S) + 'static,
     {
-        self.queue.schedule_at(at, Box::new(f));
+        self.queue.schedule_at(at, Event::Closure(Box::new(f)));
+    }
+
+    /// Schedule a capture-free function pointer after `delay` — no
+    /// per-event allocation at all.
+    pub fn schedule_fn(&mut self, delay: SimDuration, f: fn(&mut Simulator<S>, &mut S)) {
+        self.queue.schedule_in(delay, Event::Fn(f));
+    }
+
+    /// Schedule a capture-free function pointer at an absolute time.
+    pub fn schedule_fn_at(&mut self, at: SimTime, f: fn(&mut Simulator<S>, &mut S)) {
+        self.queue.schedule_at(at, Event::Fn(f));
     }
 
     /// Run until the queue drains or `deadline` is reached (events after
     /// the deadline remain queued).  Returns the final virtual time.
     pub fn run_until(&mut self, state: &mut S, deadline: SimTime) -> SimTime {
-        while let Some(at) = self.queue.peek_time() {
-            if at > deadline {
-                break;
-            }
-            let (_, cb) = self.queue.pop().expect("peeked event vanished");
+        while let Some((_, ev)) = self.queue.pop_if_at_most(deadline) {
             self.executed += 1;
-            cb(self, state);
+            match ev {
+                Event::Fn(f) => f(self, state),
+                Event::Closure(cb) => cb(self, state),
+            }
         }
         self.now()
     }
@@ -241,6 +375,69 @@ mod tests {
     }
 
     #[test]
+    fn matches_reference_model_on_random_history() {
+        // Differential test: the 4-ary arena heap must pop in exactly the
+        // order a sorted reference model predicts, across interleaved
+        // schedule/pop batches with heavy timestamp collisions.
+        use crate::rng::{SimRng, Xoshiro256};
+        let mut rng = Xoshiro256::seed_from_u64(0x4A11);
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut model: std::collections::BTreeSet<(SimTime, u64)> = Default::default();
+        let mut seq = 0u64;
+        for _round in 0..200 {
+            for _ in 0..rng.gen_range(8) + 1 {
+                // Few distinct timestamps → many FIFO ties.
+                let at = q.now() + SimDuration(rng.gen_range(4));
+                q.schedule_at(at, seq);
+                model.insert((at, seq));
+                seq += 1;
+            }
+            for _ in 0..rng.gen_range(8) {
+                let expect = model.pop_first();
+                let got = q.pop();
+                assert_eq!(got, expect);
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+        while let Some((t, p)) = q.pop() {
+            assert_eq!(model.pop_first(), Some((t, p)));
+        }
+        assert!(model.is_empty());
+    }
+
+    #[test]
+    fn arena_recycles_slots() {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        // Steady-state schedule/pop with at most 8 pending events: the
+        // arena must not grow past the high-water mark.
+        for i in 0..8u64 {
+            q.schedule_at(SimTime(i), i);
+        }
+        for i in 8..10_000u64 {
+            let (_, p) = q.pop().unwrap();
+            assert_eq!(p, i - 8);
+            q.schedule_at(SimTime(i), i);
+        }
+        assert_eq!(q.arena_slots(), 8, "slots recycled, not leaked");
+        assert_eq!(q.len(), 8);
+    }
+
+    #[test]
+    fn pop_if_at_most_fuses_peek_and_pop() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule_at(SimTime(10), 1);
+        q.schedule_at(SimTime(20), 2);
+        assert!(q.pop_if_at_most(SimTime(5)).is_none());
+        assert_eq!(q.pop_if_at_most(SimTime(10)), Some((SimTime(10), 1)));
+        assert!(q.pop_if_at_most(SimTime(15)).is_none());
+        assert_eq!(q.pop_if_at_most(SimTime(u64::MAX)), Some((SimTime(20), 2)));
+        assert!(q.pop_if_at_most(SimTime(u64::MAX)).is_none());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
     fn simulator_chains_events() {
         let mut sim: Simulator<Vec<u64>> = Simulator::new();
         let mut log = Vec::new();
@@ -274,21 +471,36 @@ mod tests {
 
     #[test]
     fn recursive_scheduling_terminates_at_bound() {
-        // A self-rescheduling "process" (like a kernel-poll thread).
+        // A self-rescheduling "process" (like a kernel-poll thread),
+        // using the allocation-free fn-pointer path.
         struct St {
             ticks: u32,
         }
         fn tick(sim: &mut Simulator<St>, st: &mut St) {
             st.ticks += 1;
             if st.ticks < 50 {
-                sim.schedule(SimDuration(100), tick);
+                sim.schedule_fn(SimDuration(100), tick);
             }
         }
         let mut sim = Simulator::new();
         let mut st = St { ticks: 0 };
-        sim.schedule(SimDuration(100), tick);
+        sim.schedule_fn(SimDuration(100), tick);
         sim.run_to_completion(&mut st);
         assert_eq!(st.ticks, 50);
         assert_eq!(sim.now(), SimTime(5000));
+    }
+
+    #[test]
+    fn fn_and_closure_events_interleave_fifo() {
+        let mut sim: Simulator<Vec<&'static str>> = Simulator::new();
+        fn first(_: &mut Simulator<Vec<&'static str>>, log: &mut Vec<&'static str>) {
+            log.push("fn");
+        }
+        let mut log = Vec::new();
+        sim.schedule_fn(SimDuration(10), first);
+        sim.schedule(SimDuration(10), |_, log: &mut Vec<&'static str>| log.push("closure"));
+        sim.schedule_fn(SimDuration(10), |_, log| log.push("fn2"));
+        sim.run_to_completion(&mut log);
+        assert_eq!(log, vec!["fn", "closure", "fn2"], "same-instant FIFO across kinds");
     }
 }
