@@ -871,6 +871,9 @@ pub fn perf() -> Experiment {
     let engine_wall = t0.elapsed().as_secs_f64();
     assert_eq!(e.verify_failures(), 0);
     let engine_evps = e.events_executed() as f64 / engine_wall.max(1e-9);
+    let counters = r.counters.expect("engine reports carry counters");
+    let fused_share = counters.fused_events as f64 / counters.events.max(1) as f64;
+    let events_per_io = counters.events as f64 / r.ops.max(1) as f64;
 
     // Pure queue churn: steady-state schedule/pop with pseudo-random
     // deltas — the simulator hot loop with the engine stripped away.
@@ -907,6 +910,48 @@ pub fn perf() -> Experiment {
                 workload: "events per second".into(),
                 unit: "ev/s",
                 measured: engine_evps,
+                paper: None,
+            },
+            Cell {
+                config: "engine closed loop".into(),
+                workload: "events per io".into(),
+                unit: "ev/io",
+                measured: events_per_io,
+                paper: None,
+            },
+            Cell {
+                config: "fused fast path".into(),
+                workload: "fused event share".into(),
+                unit: "frac",
+                measured: fused_share,
+                paper: None,
+            },
+            Cell {
+                config: "placement cache".into(),
+                workload: "hit rate".into(),
+                unit: "frac",
+                measured: counters.cache_hit_rate(),
+                paper: None,
+            },
+            Cell {
+                config: "placement cache".into(),
+                workload: "hits".into(),
+                unit: "ops",
+                measured: counters.cache_hits as f64,
+                paper: None,
+            },
+            Cell {
+                config: "placement cache".into(),
+                workload: "misses".into(),
+                unit: "ops",
+                measured: counters.cache_misses as f64,
+                paper: None,
+            },
+            Cell {
+                config: "placement cache".into(),
+                workload: "epoch invalidations".into(),
+                unit: "ops",
+                measured: counters.cache_invalidations as f64,
                 paper: None,
             },
             Cell {

@@ -1,0 +1,49 @@
+//! Determinism gate for the placement cache: forcing the cache off via
+//! `DELIBA_NO_PLACEMENT_CACHE` must not change a single byte of
+//! experiment output.  The cache memoizes a pure function keyed by the
+//! map epoch, so it can only change wall-clock time, never results.
+//!
+//! This lives in its own test binary (= its own process) because the
+//! environment variable is process-global: flipping it mid-run would
+//! race the other determinism tests, which serialize `RunReport`s whose
+//! diagnostic counters legitimately differ with the cache off.
+
+use deliba_core::{Engine, EngineConfig, FioSpec, Generation, Mode, Pattern, RwMode};
+
+#[test]
+fn experiment_json_is_identical_with_cache_disabled() {
+    let sweep = || serde_json::to_string_pretty(&deliba_bench::table2()).expect("serializable");
+    let enabled = sweep();
+    std::env::set_var("DELIBA_NO_PLACEMENT_CACHE", "1");
+    let disabled = sweep();
+    std::env::remove_var("DELIBA_NO_PLACEMENT_CACHE");
+    assert_eq!(
+        enabled, disabled,
+        "placement cache must be output-invariant (experiment JSON)"
+    );
+}
+
+#[test]
+fn modeled_timing_is_identical_with_cache_disabled() {
+    // Stronger per-run check: everything except the diagnostic counters
+    // matches field-for-field, and the counters prove which mode ran.
+    let run = || {
+        let mut e = Engine::new(EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication));
+        e.run_fio(&FioSpec::paper(RwMode::Read, Pattern::Rand, 4096, 2_000))
+    };
+    let on = run();
+    std::env::set_var("DELIBA_NO_PLACEMENT_CACHE", "1");
+    let off = run();
+    std::env::remove_var("DELIBA_NO_PLACEMENT_CACHE");
+
+    let on_counters = on.counters.expect("engine reports carry counters");
+    let off_counters = off.counters.expect("engine reports carry counters");
+    assert!(on_counters.cache_hits > 0, "cache was live: {on_counters:?}");
+    assert_eq!(off_counters.cache_hits, 0, "cache was off: {off_counters:?}");
+
+    let mut on_stripped = on.clone();
+    let mut off_stripped = off.clone();
+    on_stripped.counters = None;
+    off_stripped.counters = None;
+    assert_eq!(on_stripped, off_stripped, "modeled results must not depend on the cache");
+}

@@ -33,6 +33,8 @@ pub struct HardwareCtx {
     pub index: usize,
     sched: Scheduler,
     stats: QueueStats,
+    /// Recycled candidate buffer for [`MultiQueue::dispatch_into`].
+    scratch: Vec<BlockRequest>,
 }
 
 impl HardwareCtx {
@@ -41,6 +43,7 @@ impl HardwareCtx {
             index,
             sched: Scheduler::new(policy),
             stats: QueueStats::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -114,10 +117,26 @@ impl MultiQueue {
     /// assigning driver tags.  Requests that cannot get a tag are
     /// returned to the scheduler (all-or-nothing per request).
     pub fn dispatch(&self, hctx_idx: usize, now_ns: u64, max: usize) -> Vec<BlockRequest> {
-        let mut hctx = self.hctxs[hctx_idx].lock();
         let mut out = Vec::new();
-        let candidates = hctx.sched.dispatch(now_ns, max);
-        let mut iter = candidates.into_iter();
+        self.dispatch_into(hctx_idx, now_ns, max, &mut out);
+        out
+    }
+
+    /// [`dispatch`](Self::dispatch) into caller scratch: `out` is cleared
+    /// and filled.  Returns the count; the candidate buffer lives inside
+    /// the hardware context, so an idle queue allocates nothing.
+    pub fn dispatch_into(
+        &self,
+        hctx_idx: usize,
+        now_ns: u64,
+        max: usize,
+        out: &mut Vec<BlockRequest>,
+    ) -> usize {
+        out.clear();
+        let mut hctx = self.hctxs[hctx_idx].lock();
+        let mut candidates = std::mem::take(&mut hctx.scratch);
+        hctx.sched.dispatch_into(now_ns, max, &mut candidates);
+        let mut iter = candidates.drain(..);
         for mut req in iter.by_ref() {
             match self.tags.alloc(req.cpu) {
                 Some(tag) => {
@@ -137,7 +156,8 @@ impl MultiQueue {
         for req in iter {
             hctx.sched.insert(req);
         }
-        out
+        hctx.scratch = candidates;
+        out.len()
     }
 
     /// Complete a request: release its driver tag.
@@ -219,6 +239,30 @@ mod tests {
         mq.complete(&batch[0]);
         let more = mq.dispatch(0, 0, 10);
         assert_eq!(more.len(), 1);
+    }
+
+    #[test]
+    fn dispatch_into_matches_dispatch_under_tag_pressure() {
+        let mq = MultiQueue::new(1, 1, 2, SchedPolicy::Fifo);
+        for i in 0..5 {
+            mq.insert(req(0, i * 1000, i));
+        }
+        let mut out = vec![req(0, 999, 999)]; // stale contents must be cleared
+        assert_eq!(mq.dispatch_into(0, 0, 10, &mut out), 2, "only 2 tags");
+        assert!(out.iter().all(|r| r.tag.is_some()));
+        assert_eq!(mq.total_pending(), 3);
+        for r in &out {
+            mq.complete(r);
+        }
+        // Drain the rest; scratch reuse must not leak stale requests.
+        assert_eq!(mq.dispatch_into(0, 0, 10, &mut out), 2);
+        for r in &out {
+            mq.complete(r);
+        }
+        assert_eq!(mq.dispatch_into(0, 0, 10, &mut out), 1);
+        mq.complete(&out[0]);
+        assert_eq!(mq.dispatch_into(0, 0, 10, &mut out), 0);
+        assert!(out.is_empty());
     }
 
     #[test]

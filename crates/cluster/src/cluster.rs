@@ -109,6 +109,9 @@ pub struct Cluster {
     replica_dir: BTreeMap<ObjectId, Vec<i32>>,
     /// Where each EC object's shards were written.
     shard_dir: BTreeMap<ObjectId, ShardPlacement>,
+    /// Recycled acting-set buffer: the data-path methods fill it via
+    /// [`OsdMap::acting_set_into`] instead of allocating per I/O.
+    acting_scratch: Vec<i32>,
 }
 
 impl Cluster {
@@ -164,6 +167,7 @@ impl Cluster {
             per_server,
             replica_dir: BTreeMap::new(),
             shard_dir: BTreeMap::new(),
+            acting_scratch: Vec::new(),
         }
     }
 
@@ -382,16 +386,19 @@ impl Cluster {
         data: Bytes,
         random: bool,
     ) -> Option<IoOutcome> {
-        let pool = self.pool(oid.pool).clone();
+        let pool = self.pool(oid.pool);
         let PoolKind::Replicated { size } = pool.kind else {
             panic!("write_replicated on a non-replicated pool");
         };
-        let acting = self.map.acting_set(pool.pg_of(oid));
+        let pg = pool.pg_of(oid);
+        let mut acting = std::mem::take(&mut self.acting_scratch);
+        self.map.acting_set_into(pg, &mut acting);
         let healthy: Vec<i32> = acting
             .iter()
             .copied()
             .filter(|&o| self.osds[o as usize].is_up())
             .collect();
+        self.acting_scratch = acting;
         let primary = *healthy.first()?;
         let p_server = self.server_of(primary);
 
@@ -432,11 +439,12 @@ impl Cluster {
         let done = self
             .topology
             .server_to_client(commit, p_server, CONTROL_BYTES);
-        self.replica_dir.insert(oid, healthy.clone());
+        let degraded = healthy.len() < size;
+        self.replica_dir.insert(oid, healthy);
         Some(IoOutcome {
             complete: done,
             bytes: data.len() as u64,
-            degraded: healthy.len() < size,
+            degraded,
             net_tx: at_primary.saturating_since(now),
             osd_service: commit.saturating_since(at_primary),
             net_rx: done.saturating_since(commit),
@@ -454,16 +462,19 @@ impl Cluster {
         data: &[u8],
         random: bool,
     ) -> Option<IoOutcome> {
-        let pool = self.pool(oid.pool).clone();
+        let pool = self.pool(oid.pool);
         let PoolKind::Replicated { size } = pool.kind else {
             panic!("write_replicated_at on a non-replicated pool");
         };
-        let acting = self.map.acting_set(pool.pg_of(oid));
+        let pg = pool.pg_of(oid);
+        let mut acting = std::mem::take(&mut self.acting_scratch);
+        self.map.acting_set_into(pg, &mut acting);
         let healthy: Vec<i32> = acting
             .iter()
             .copied()
             .filter(|&o| self.osds[o as usize].is_up())
             .collect();
+        self.acting_scratch = acting;
         let primary = *healthy.first()?;
         let p_server = self.server_of(primary);
         let at_primary = self
@@ -497,11 +508,12 @@ impl Cluster {
         let done = self
             .topology
             .server_to_client(commit, p_server, CONTROL_BYTES);
-        self.replica_dir.insert(oid, healthy.clone());
+        let degraded = healthy.len() < size;
+        self.replica_dir.insert(oid, healthy);
         Some(IoOutcome {
             complete: done,
             bytes: data.len() as u64,
-            degraded: healthy.len() < size,
+            degraded,
             net_tx: at_primary.saturating_since(now),
             osd_service: commit.saturating_since(at_primary),
             net_rx: done.saturating_since(commit),
@@ -538,12 +550,13 @@ impl Cluster {
         random: bool,
         out: &mut Vec<u8>,
     ) -> Option<IoOutcome> {
-        let pool = self.pool(oid.pool).clone();
-        let acting = self.map.acting_set(pool.pg_of(oid));
-        let written = self.replica_dir.contains_key(&oid);
+        let pg = self.pool(oid.pool).pg_of(oid);
         // Candidates: current acting set first, then the write-time copy
-        // holders (covers not-yet-recovered remaps).
-        let mut candidates = acting;
+        // holders (covers not-yet-recovered remaps).  The buffer is the
+        // cluster's recycled scratch — no allocation on the steady path.
+        let mut candidates = std::mem::take(&mut self.acting_scratch);
+        self.map.acting_set_into(pg, &mut candidates);
+        let written = self.replica_dir.contains_key(&oid);
         if let Some(writers) = self.replica_dir.get(&oid) {
             for &w in writers {
                 if !candidates.contains(&w) {
@@ -552,6 +565,7 @@ impl Cluster {
             }
         }
         let mut degraded = false;
+        let mut outcome = None;
         for (rank, osd) in candidates.iter().copied().enumerate() {
             if !self.osds[osd as usize].is_up() {
                 degraded = true;
@@ -570,7 +584,7 @@ impl Cluster {
                 .read_object_at_into(at_osd, oid, offset, len, random, out)
                 .expect("checked up");
             let done = self.topology.server_to_client(fin, server, len as u64);
-            return Some(IoOutcome {
+            outcome = Some(IoOutcome {
                 complete: done,
                 bytes: len as u64,
                 degraded: written && (degraded || rank > 0),
@@ -578,8 +592,10 @@ impl Cluster {
                 osd_service: fin.saturating_since(at_osd),
                 net_rx: done.saturating_since(fin),
             });
+            break;
         }
-        None
+        self.acting_scratch = candidates;
+        outcome
     }
 
     /// EC sparse read: the object was never written, so the client
@@ -609,11 +625,13 @@ impl Cluster {
         random: bool,
         out: &mut Vec<u8>,
     ) -> Option<IoOutcome> {
-        let pool = self.pool(oid.pool).clone();
+        let pool = self.pool(oid.pool);
         let PoolKind::Erasure { k, .. } = pool.kind else {
             panic!("read_ec_sparse on a non-EC pool");
         };
-        let acting = self.map.acting_set(pool.pg_of(oid));
+        let pg = pool.pg_of(oid);
+        let mut acting = std::mem::take(&mut self.acting_scratch);
+        self.map.acting_set_into(pg, &mut acting);
         let shard_len = len.div_ceil(k);
         let mut commit = now;
         let mut last_arrive = now;
@@ -641,6 +659,7 @@ impl Cluster {
             last_fin = last_fin.max(fin);
             fetched += 1;
         }
+        self.acting_scratch = acting;
         if fetched < k {
             return None;
         }
@@ -673,12 +692,14 @@ impl Cluster {
         shards: Vec<Vec<u8>>,
         random: bool,
     ) -> Option<IoOutcome> {
-        let pool = self.pool(oid.pool).clone();
+        let pool = self.pool(oid.pool);
         let PoolKind::Erasure { k, m } = pool.kind else {
             panic!("write_ec_shards on a non-EC pool");
         };
         assert_eq!(shards.len(), k + m, "wrong shard count");
-        let acting = self.map.acting_set(pool.pg_of(oid));
+        let pg = pool.pg_of(oid);
+        let mut acting = std::mem::take(&mut self.acting_scratch);
+        self.map.acting_set_into(pg, &mut acting);
         let mut placed: Vec<(i32, usize)> = Vec::new();
         let mut commit = now;
         let mut last_arrive = now;
@@ -705,6 +726,7 @@ impl Cluster {
             placed.push((osd, idx));
             written += 1;
         }
+        self.acting_scratch = acting;
         if written < k {
             return None; // insufficient durability — op fails
         }
@@ -744,8 +766,7 @@ impl Cluster {
         random: bool,
         out: &mut Vec<u8>,
     ) -> Option<IoOutcome> {
-        let pool = self.pool(oid.pool).clone();
-        let PoolKind::Erasure { k, m } = pool.kind else {
+        let PoolKind::Erasure { k, m } = self.pool(oid.pool).kind else {
             panic!("read_ec on a non-EC pool");
         };
         let (original_len, placed) = self.shard_dir.get(&oid)?.clone();

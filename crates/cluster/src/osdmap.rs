@@ -1,8 +1,14 @@
 //! The OSDMap: cluster map epochs, CRUSH, pool table and OSD states.
 
 use crate::pool::{PgId, PoolConfig};
-use deliba_crush::{CrushMap, DeviceId};
+use deliba_crush::{Bucket, BucketAlg, BucketId, CacheStats, CrushMap, DeviceId, PlacementCache, Rule};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+
+/// Slots in the per-map placement cache.  Two pools × 128 PGs is the
+/// paper testbed's whole working set; 1024 direct-mapped slots keep the
+/// collision rate negligible.
+const PLACEMENT_CACHE_SLOTS: usize = 1024;
 
 /// The authoritative cluster map (what Ceph monitors distribute).
 #[derive(Debug, Clone)]
@@ -11,6 +17,11 @@ pub struct OsdMap {
     pub epoch: u64,
     crush: CrushMap,
     pools: BTreeMap<u32, PoolConfig>,
+    /// Epoch-keyed CRUSH memo table.  Interior mutability because
+    /// placement queries (`acting_set`, `remapped_fraction`) take
+    /// `&self`; the engine owns its map exclusively, so a `RefCell`
+    /// (not a lock) is the right tool.
+    cache: RefCell<PlacementCache>,
 }
 
 impl OsdMap {
@@ -20,12 +31,23 @@ impl OsdMap {
             epoch: 1,
             crush,
             pools: BTreeMap::new(),
+            cache: RefCell::new(PlacementCache::new(PLACEMENT_CACHE_SLOTS)),
         }
     }
 
     /// The CRUSH map.
     pub fn crush(&self) -> &CrushMap {
         &self.crush
+    }
+
+    /// Mutable CRUSH access for mutations this map has no dedicated
+    /// method for.  Conservatively bumps the epoch on every call: the
+    /// caller *may* mutate through the returned reference, and a spurious
+    /// bump only costs one cache refill while a missed bump would serve
+    /// stale placement.
+    pub fn crush_mut(&mut self) -> &mut CrushMap {
+        self.epoch += 1;
+        &mut self.crush
     }
 
     /// Register a pool.
@@ -61,14 +83,85 @@ impl OsdMap {
         self.crush.is_out(osd)
     }
 
+    /// Reweight `item` inside `bucket` (operator rebalance).
+    pub fn reweight(&mut self, bucket: BucketId, item: i32, weight: u32) -> Option<u32> {
+        let old = self.crush.bucket_mut(bucket)?.reweight_item(item, weight);
+        self.epoch += 1;
+        old
+    }
+
+    /// Add `item` to `bucket` (cluster growth).
+    pub fn add_item(&mut self, bucket: BucketId, item: i32, weight: u32) -> Option<()> {
+        self.crush.bucket_mut(bucket)?.add_item(item, weight);
+        self.epoch += 1;
+        Some(())
+    }
+
+    /// Remove `item` from `bucket` (decommission).
+    pub fn remove_item(&mut self, bucket: BucketId, item: i32) -> Option<u32> {
+        let w = self.crush.bucket_mut(bucket)?.remove_item(item);
+        self.epoch += 1;
+        w
+    }
+
+    /// Register or replace a placement rule.
+    pub fn add_rule(&mut self, rule: Rule) {
+        self.crush.add_rule(rule);
+        self.epoch += 1;
+    }
+
+    /// Swap a bucket's selection algorithm (the DFX reconfiguration
+    /// case: a partition's kernel changes under live I/O).
+    pub fn set_bucket_alg(&mut self, bucket: BucketId, alg: BucketAlg) -> Option<()> {
+        self.crush.bucket_mut(bucket)?.set_alg(alg);
+        self.epoch += 1;
+        Some(())
+    }
+
+    /// Immutable view of a bucket.
+    pub fn bucket(&self, id: BucketId) -> Option<&Bucket> {
+        self.crush.bucket(id)
+    }
+
     /// The acting set of a PG: the OSDs serving it, primary first.
     pub fn acting_set(&self, pg: PgId) -> Vec<DeviceId> {
+        let mut out = Vec::new();
+        self.acting_set_into(pg, &mut out);
+        out
+    }
+
+    /// [`acting_set`](Self::acting_set) into caller scratch: `out` is
+    /// cleared and filled, no allocation on a warm cache.
+    pub fn acting_set_into(&self, pg: PgId, out: &mut Vec<DeviceId>) {
         let Some(pool) = self.pools.get(&pg.pool) else {
-            return Vec::new();
+            out.clear();
+            return;
         };
         let seed = pool.pg_seed(pg);
-        self.crush
-            .do_rule(pool.crush_rule, seed, pool.kind.width())
+        self.do_rule_cached(pool.crush_rule, seed, pool.kind.width(), out);
+    }
+
+    /// Run `rule` for input `x` through the epoch-keyed placement cache.
+    /// Output-invariant versus `crush().do_rule(..)`: `do_rule` is a pure
+    /// function of the key and the map contents, and every map mutation
+    /// bumps the epoch in the key.
+    pub fn do_rule_cached(&self, rule: u32, x: u32, num: usize, out: &mut Vec<DeviceId>) {
+        self.cache
+            .borrow_mut()
+            .get_or_compute(rule, x, num, self.epoch, out, || {
+                self.crush.do_rule(rule, x, num)
+            });
+    }
+
+    /// Placement-cache counter snapshot.
+    pub fn placement_cache_stats(&self) -> CacheStats {
+        self.cache.borrow().stats()
+    }
+
+    /// Force the placement cache on or off (tests / determinism probes;
+    /// normally governed by `DELIBA_NO_PLACEMENT_CACHE`).
+    pub fn set_placement_cache_enabled(&self, enabled: bool) {
+        self.cache.borrow_mut().set_enabled(enabled);
     }
 
     /// Primary OSD of a PG.
@@ -167,5 +260,59 @@ mod tests {
         let m = map();
         assert!(m.acting_set(PgId { pool: 9, seq: 0 }).is_empty());
         assert_eq!(m.remapped_fraction(&m.clone(), 9), 0.0);
+    }
+
+    #[test]
+    fn mutation_api_bumps_epoch() {
+        let mut m = map();
+        let host = -2; // first host bucket from MapBuilder
+        let osd = m.bucket(host).unwrap().items()[0];
+        let e = m.epoch;
+        assert!(m.reweight(host, osd, deliba_crush::WEIGHT_ONE / 2).is_some());
+        assert_eq!(m.epoch, e + 1);
+        assert!(m.remove_item(host, osd).is_some());
+        assert_eq!(m.epoch, e + 2);
+        assert!(m.add_item(host, osd, deliba_crush::WEIGHT_ONE).is_some());
+        assert_eq!(m.epoch, e + 3);
+        assert!(m.set_bucket_alg(host, deliba_crush::BucketAlg::Straw2).is_some());
+        assert_eq!(m.epoch, e + 4);
+        let _ = m.crush_mut();
+        assert_eq!(m.epoch, e + 5);
+    }
+
+    #[test]
+    fn cached_acting_set_matches_uncached_through_churn() {
+        let mut m = map();
+        m.set_placement_cache_enabled(true);
+        let check = |m: &OsdMap| {
+            for pool in [1u32, 2] {
+                for seq in 0..128 {
+                    let pg = PgId { pool, seq };
+                    let cached = m.acting_set(pg);
+                    let p = m.pool(pool).unwrap();
+                    let fresh = m.crush().do_rule(p.crush_rule, p.pg_seed(pg), p.kind.width());
+                    assert_eq!(cached, fresh, "pool {pool} pg {seq}");
+                }
+            }
+        };
+        check(&m); // cold
+        check(&m); // warm (hits)
+        m.reweight(-2, m.bucket(-2).unwrap().items()[0], deliba_crush::WEIGHT_ONE / 4);
+        check(&m); // after invalidation
+        let s = m.placement_cache_stats();
+        assert!(s.hits > 0 && s.misses > 0, "{s:?}");
+    }
+
+    #[test]
+    fn cache_counters_report_hits() {
+        let m = map();
+        m.set_placement_cache_enabled(true);
+        let pg = PgId { pool: 1, seq: 3 };
+        let a = m.acting_set(pg);
+        let b = m.acting_set(pg);
+        assert_eq!(a, b);
+        let s = m.placement_cache_stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
     }
 }

@@ -247,8 +247,13 @@ pub struct Engine {
     /// Recycled read buffer: cluster reads land here instead of a fresh
     /// allocation per op.
     read_buf: Vec<u8>,
+    /// Recycled device buffer for the card-side placement lookup.
+    place_buf: Vec<i32>,
     /// Events executed by the closed-loop queue (perf accounting).
     events: u64,
+    /// Completions consumed by the fused submit→dispatch→post fast path
+    /// (no event-queue round trip; perf accounting only).
+    fused: u64,
 }
 
 impl Engine {
@@ -282,7 +287,9 @@ impl Engine {
             tracer: cfg.trace_stages.then(StageTracer::new),
             scratch: Vec::new(),
             read_buf: Vec::new(),
+            place_buf: Vec::new(),
             events: 0,
+            fused: 0,
         }
     }
 
@@ -318,6 +325,17 @@ impl Engine {
     /// events-per-second gauge.  Not part of any `RunReport`.
     pub fn events_executed(&self) -> u64 {
         self.events
+    }
+
+    /// Completion tokens consumed by the fused fast path instead of an
+    /// event-queue schedule/pop round trip.
+    pub fn fused_events(&self) -> u64 {
+        self.fused
+    }
+
+    /// Placement-cache counters of the engine's cluster map.
+    pub fn placement_cache_stats(&self) -> deliba_crush::CacheStats {
+        self.cluster.map().placement_cache_stats()
     }
 
     /// The stage tracer (`None` unless the config enabled tracing).
@@ -426,13 +444,22 @@ impl Engine {
                     Mode::ErasureCoding => (2u32, deliba_cluster::cluster::RULE_EC_OSD, 6),
                 };
                 let (obj, _) = self.image.object_of(op.offset);
-                let pool = self.cluster.map().pool(pool_id).expect("pool exists").clone();
+                let map = self.cluster.map();
+                let pool = map.pool(pool_id).expect("pool exists");
                 let seed = pool.pg_seed(pool.pg_of(ObjectId::new(pool_id, obj.name)));
                 let hls = !self.cfg.features.rtl_accel;
                 let preferred = self.cfg.preferred_rm;
-                let crush = self.cluster.map().crush();
+                // Resolve the placement through the epoch-keyed cache:
+                // same key space as the cluster data path below, so one
+                // CRUSH walk per (rule, pg, epoch) serves both sides.
+                // The card is charged the identical cycle budget it
+                // would burn computing it (`place_prefetched` mirrors
+                // `place` exactly, minus the redundant walk).
+                let mut devs = std::mem::take(&mut self.place_buf);
+                map.do_rule_cached(rule, seed, width, &mut devs);
+                self.place_buf = devs;
                 let card = self.card.as_mut().expect("fpga config has a card");
-                let (_devices, place_t, _kernel) = card.place(t, crush, rule, seed, width, preferred);
+                let (place_t, _kernel) = card.place_prefetched(t, preferred);
                 let place_eff = if hls {
                     place_t * HLS_LATENCY_INFLATION
                 } else {
@@ -622,10 +649,12 @@ impl Engine {
             }
         }
         let mut last_complete = SimTime::ZERO;
-        while let Some((ready, job)) = queue.pop() {
+        let mut next = queue.pop();
+        while let Some((ready, job)) = next {
             self.events += 1;
             let idx = cursors[job as usize];
             if idx >= jobs[job as usize].len() {
+                next = queue.pop();
                 continue;
             }
             cursors[job as usize] += 1;
@@ -637,7 +666,21 @@ impl Engine {
             hist.record(complete.saturating_since(start));
             counter.record(op.len as u64);
             last_complete = last_complete.max(complete);
-            queue.schedule_at(complete, job);
+            // Fused fast path: when the completion would be the very next
+            // event popped anyway — strictly earlier than everything
+            // pending (ties must round-trip through the heap so the
+            // sequence-number FIFO tiebreak is preserved) — consume it
+            // in place and skip the schedule/pop.
+            match queue.peek_time() {
+                Some(head) if head <= complete => {
+                    queue.schedule_at(complete, job);
+                    next = queue.pop();
+                }
+                _ => {
+                    self.fused += 1;
+                    next = Some((complete, job));
+                }
+            }
         }
         let window = last_complete.saturating_since(SimTime::ZERO);
         let mut report = RunReport::new(
@@ -652,6 +695,14 @@ impl Engine {
         if let Some(tracer) = &self.tracer {
             report.breakdown = Some(crate::report::StageBreakdown::from_tracer(tracer));
         }
+        let cache = self.cluster.map().placement_cache_stats();
+        report.counters = Some(crate::report::PerfCounters {
+            events: self.events,
+            fused_events: self.fused,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_invalidations: cache.invalidations,
+        });
         report
     }
 

@@ -33,5 +33,5 @@ pub mod uifd;
 
 pub use engine::{Engine, EngineConfig, FioSpec, Mode, Pattern, RwMode, IMAGE_BYTES};
 pub use generation::Generation;
-pub use report::{RunReport, StageBreakdown, StageSpanReport};
+pub use report::{PerfCounters, RunReport, StageBreakdown, StageSpanReport};
 pub use uifd::Uifd;

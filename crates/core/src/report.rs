@@ -79,6 +79,37 @@ impl StageBreakdown {
     }
 }
 
+/// Engine-internal hot-path counters attached to every run.  These are
+/// diagnostics about how the simulator executed (cache effectiveness,
+/// fused-event share), never inputs to any figure — the modeled timing
+/// is identical whether or not the fast paths fire.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Closed-loop events executed (completion tokens consumed).
+    pub events: u64,
+    /// Events consumed by the fused submit→dispatch→post fast path
+    /// instead of an event-queue schedule/pop round trip.
+    pub fused_events: u64,
+    /// Placement-cache hits on the run's cluster map.
+    pub cache_hits: u64,
+    /// Placement-cache misses (CRUSH walks actually executed).
+    pub cache_misses: u64,
+    /// Misses caused by a map-epoch bump over a live entry.
+    pub cache_invalidations: u64,
+}
+
+impl PerfCounters {
+    /// Placement-cache hit rate in [0, 1].
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
 /// The outcome of one engine run (one bar in one figure).
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct RunReport {
@@ -105,6 +136,8 @@ pub struct RunReport {
     /// Per-stage latency decomposition (present when the engine ran
     /// with `trace_stages`).
     pub breakdown: Option<StageBreakdown>,
+    /// Engine hot-path counters (present on engine-produced reports).
+    pub counters: Option<PerfCounters>,
 }
 
 impl RunReport {
@@ -130,6 +163,7 @@ impl RunReport {
             verify_failures,
             window_s: window.as_secs_f64(),
             breakdown: None,
+            counters: None,
         }
     }
 
@@ -180,5 +214,21 @@ mod tests {
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
         assert!(r.row().contains("rand-read 4k"));
+    }
+
+    #[test]
+    fn perf_counters_round_trip_and_rate() {
+        let c = PerfCounters {
+            events: 100,
+            fused_events: 80,
+            cache_hits: 95,
+            cache_misses: 5,
+            cache_invalidations: 2,
+        };
+        assert!((c.cache_hit_rate() - 0.95).abs() < 1e-12);
+        assert_eq!(PerfCounters::default().cache_hit_rate(), 0.0);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: PerfCounters = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
     }
 }

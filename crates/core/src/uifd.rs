@@ -96,8 +96,23 @@ impl Uifd {
     /// QDMA queue set as descriptors.  Returns the dispatched requests
     /// (tags assigned).
     pub fn dispatch(&mut self, hctx: usize, now_ns: u64, max: usize) -> Vec<BlockRequest> {
-        let reqs = self.mq.dispatch(hctx, now_ns, max);
-        for req in &reqs {
+        let mut reqs = Vec::new();
+        self.dispatch_into(hctx, now_ns, max, &mut reqs);
+        reqs
+    }
+
+    /// [`dispatch`](Self::dispatch) into caller scratch: `out` is cleared
+    /// and filled with the dispatched requests (tags assigned).  Returns
+    /// the count; an idle context allocates nothing.
+    pub fn dispatch_into(
+        &mut self,
+        hctx: usize,
+        now_ns: u64,
+        max: usize,
+        out: &mut Vec<BlockRequest>,
+    ) -> usize {
+        self.mq.dispatch_into(hctx, now_ns, max, out);
+        for req in out.iter() {
             let tag = req.tag.expect("dispatched requests carry tags");
             let qid = hctx as u16;
             let q = self.qdma.queue_mut(qid).expect("queue exists");
@@ -135,13 +150,19 @@ impl Uifd {
                 }
             }
         }
-        reqs
+        out.len()
     }
 
     /// Drive the card side once: fetch H2C descriptors and return the
     /// payload beats (what the accelerators would consume).
     pub fn service_card(&mut self) -> Vec<deliba_qdma::engine::H2cBeat> {
         self.qdma.service_h2c(&self.host_mem)
+    }
+
+    /// [`service_card`](Self::service_card) into caller scratch: `beats`
+    /// is cleared and filled; an idle card allocates nothing.
+    pub fn service_card_into(&mut self, beats: &mut Vec<deliba_qdma::engine::H2cBeat>) {
+        self.qdma.service_h2c_into(&self.host_mem, beats);
     }
 
     /// Deliver read data arriving from the network back to the host
@@ -244,6 +265,24 @@ mod tests {
         for beat in beats {
             assert!(beat.data.iter().all(|&b| b == beat.user as u8));
         }
+    }
+
+    #[test]
+    fn scratch_dispatch_and_service_match_allocating_path() {
+        let mut u = Uifd::deliba_k_default();
+        let data: Vec<u8> = (0..2048).map(|i| (i % 13) as u8).collect();
+        u.submit(write_req(0, 0, 2048, 5), Some(&data));
+        let mut reqs = Vec::new();
+        let mut beats = Vec::new();
+        assert_eq!(u.dispatch_into(0, 0, 16, &mut reqs), 1);
+        assert!(reqs[0].tag.is_some());
+        u.service_card_into(&mut beats);
+        assert_eq!(beats.len(), 1);
+        assert_eq!(&beats[0].data[..], &data[..]);
+        // Idle round trips leave the scratch empty, not stale.
+        assert_eq!(u.dispatch_into(0, 0, 16, &mut reqs), 0);
+        u.service_card_into(&mut beats);
+        assert!(reqs.is_empty() && beats.is_empty());
     }
 
     #[test]

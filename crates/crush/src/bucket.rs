@@ -176,6 +176,23 @@ impl Bucket {
         Some(w)
     }
 
+    /// Swap the selection algorithm in place (the DFX reconfiguration
+    /// case: the partition's bucket kernel changes while membership and
+    /// weights stay put).  Rebuilds the per-algorithm derived tables —
+    /// flipping `alg` without a rebuild would leave list suffixes / straw
+    /// lengths / tree nodes stale or missing.
+    pub fn set_alg(&mut self, alg: BucketAlg) {
+        if alg == BucketAlg::Uniform && !self.weights.is_empty() {
+            let w0 = self.weights[0];
+            assert!(
+                self.weights.iter().all(|&w| w == w0),
+                "uniform bucket requires equal weights"
+            );
+        }
+        self.alg = alg;
+        self.rebuild();
+    }
+
     fn rebuild(&mut self) {
         self.total_weight = self.weights.iter().map(|&w| w as u64).sum();
         match self.alg {

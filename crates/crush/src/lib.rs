@@ -25,12 +25,14 @@
 //! programs of `take` / `choose` / `chooseleaf` / `emit` steps.
 
 pub mod bucket;
+pub mod cache;
 pub mod fixed;
 pub mod hash;
 pub mod map;
 pub mod rule;
 
 pub use bucket::{Bucket, BucketAlg, BucketId};
+pub use cache::{CacheStats, PlacementCache};
 pub use map::{CrushMap, DeviceId, MapBuilder};
 pub use rule::{Rule, RuleStep};
 

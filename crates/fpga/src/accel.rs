@@ -219,10 +219,22 @@ impl CrushAccelerator {
         num: usize,
     ) -> (Vec<DeviceId>, SimDuration) {
         let devices = map.do_rule(rule, x, num);
+        (devices, self.charge_place())
+    }
+
+    /// Charge one placement without running the selection — the caller
+    /// already has the devices (e.g. from the epoch-keyed placement
+    /// cache).  Counters and timing advance exactly as [`place`] would:
+    /// the RTL pipeline consumes its fixed Table I cycle budget per
+    /// operation regardless of the inputs, so the charge is
+    /// input-independent by construction.
+    ///
+    /// [`place`]: CrushAccelerator::place
+    pub fn charge_place(&mut self) -> SimDuration {
         let cycles = self.rtl_cycles();
         self.ops += 1;
         self.cycles_consumed += cycles;
-        (devices, self.clock.cycles(cycles))
+        self.clock.cycles(cycles)
     }
 
     /// Step the FSM through its stages, returning the per-stage trace
@@ -337,6 +349,19 @@ mod tests {
         let (ops, cycles) = accel.counters();
         assert_eq!(ops, 500);
         assert_eq!(cycles, 500 * 155);
+    }
+
+    #[test]
+    fn charge_place_advances_counters_like_place() {
+        let map = MapBuilder::new().build(8, 4);
+        let mut full = CrushAccelerator::new(AccelKind::Straw2);
+        let mut charged = CrushAccelerator::new(AccelKind::Straw2);
+        for x in 0..100u32 {
+            let (_, d_full) = full.place(&map, 0, x, 3);
+            let d_charge = charged.charge_place();
+            assert_eq!(d_full, d_charge, "x={x}");
+        }
+        assert_eq!(full.counters(), charged.counters());
     }
 
     #[test]

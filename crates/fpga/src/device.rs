@@ -107,6 +107,33 @@ impl AlveoU280 {
         (devs, d, kind)
     }
 
+    /// Charge a placement whose devices the caller already resolved
+    /// (via the epoch-keyed placement cache in `deliba-cluster`).  Kernel
+    /// routing, fallback accounting, per-accelerator counters and busy
+    /// time advance exactly as [`place`](AlveoU280::place) would: the RTL
+    /// kernels consume a fixed Table I cycle budget per operation, so the
+    /// time charged never depends on the map or the result.
+    pub fn place_prefetched(
+        &mut self,
+        now: SimTime,
+        preferred: Option<RmId>,
+    ) -> (SimDuration, AccelKind) {
+        let (d, kind) = match preferred {
+            Some(want) => match self.dfx.active_rm(now) {
+                Some(active) if active == want => {
+                    (self.rm_accel(want).charge_place(), want.accel_kind())
+                }
+                _ => {
+                    self.dfx_fallbacks += 1;
+                    (self.straw2.charge_place(), AccelKind::Straw2)
+                }
+            },
+            None => (self.straw2.charge_place(), AccelKind::Straw2),
+        };
+        self.accel_busy += d;
+        (d, kind)
+    }
+
     /// Run a placement on the static Straw kernel (legacy pools).
     pub fn place_straw(
         &mut self,
@@ -249,6 +276,24 @@ mod tests {
         // After the swap: the Tree RM serves.
         let (_, _, kind) = card.place(done, &map, 0, 8, 3, Some(RmId::Tree));
         assert_eq!(kind, AccelKind::Tree);
+    }
+
+    #[test]
+    fn place_prefetched_mirrors_place_exactly() {
+        // Same kernel routing, timing, fallback and busy accounting as
+        // place() — only the do_rule execution is elided.
+        let map = MapBuilder::new().host_alg(BucketAlg::Uniform).build(8, 4);
+        let mut a = AlveoU280::deliba_k_default();
+        let mut b = AlveoU280::deliba_k_default();
+        for (x, preferred) in [(1u32, None), (2, Some(RmId::Uniform)), (3, Some(RmId::Tree))] {
+            let (_, d_full, k_full) = a.place(SimTime::ZERO, &map, 0, x, 3, preferred);
+            let (d_pre, k_pre) = b.place_prefetched(SimTime::ZERO, preferred);
+            assert_eq!(d_full, d_pre);
+            assert_eq!(k_full, k_pre);
+        }
+        assert_eq!(a.dfx_fallbacks(), b.dfx_fallbacks());
+        assert_eq!(a.accel_busy(), b.accel_busy());
+        assert_eq!(a.status_report(SimTime::ZERO), b.status_report(SimTime::ZERO));
     }
 
     #[test]

@@ -92,6 +92,8 @@ pub struct DescriptorEngine {
     inflight: usize,
     stats: EngineStats,
     rr_cursor: usize,
+    /// Recycled qid list for the round-robin sweep.
+    qids_scratch: Vec<u16>,
 }
 
 impl DescriptorEngine {
@@ -103,6 +105,7 @@ impl DescriptorEngine {
             inflight: 0,
             stats: EngineStats::default(),
             rr_cursor: 0,
+            qids_scratch: Vec::new(),
         }
     }
 
@@ -140,59 +143,67 @@ impl DescriptorEngine {
     /// queues, bounded by the inflight limit and reorder-buffer budget,
     /// and read the payloads from `host`.
     pub fn service_h2c(&mut self, host: &SparseMemory) -> Vec<H2cBeat> {
-        let qids: Vec<u16> = self.queues.keys().copied().collect();
-        if qids.is_empty() {
-            return Vec::new();
-        }
         let mut beats = Vec::new();
-        let mut buffer_used = 0usize;
-        let start = self.rr_cursor % qids.len();
-        for step in 0..qids.len() {
-            let qid = qids[(start + step) % qids.len()];
-            loop {
-                if self.inflight >= self.cfg.max_inflight {
-                    self.stats.inflight_throttles += 1;
-                    self.rr_cursor = (start + step) % qids.len();
-                    return beats;
-                }
-                let q = self.queues.get_mut(&qid).expect("queue exists");
-                // Peek at pending work without exceeding the reorder
-                // buffer budget for this sweep.
-                let Some(desc) = Self::fetch_one_within(q, self.cfg.reorder_buffer_bytes, buffer_used)
-                else {
-                    break;
-                };
-                buffer_used += desc.len as usize;
-                self.inflight += 1;
-                self.stats.h2c_descriptors += 1;
-                self.stats.h2c_bytes += desc.len as u64;
-                if buffer_used >= self.cfg.reorder_buffer_bytes {
-                    self.stats.reorder_throttles += 1;
-                }
-                let data = host.read(desc.src_addr, desc.len as usize);
-                beats.push(H2cBeat {
-                    qid,
-                    if_type: desc.control.if_type,
-                    user: desc.user,
-                    data,
-                });
-            }
-        }
-        self.rr_cursor = start + 1;
+        self.service_h2c_into(host, &mut beats);
         beats
     }
 
-    fn fetch_one_within(q: &mut QueueSet, budget: usize, used: usize) -> Option<Descriptor> {
-        if q.h2c.pending() == 0 {
-            return None;
+    /// [`service_h2c`](Self::service_h2c) into caller scratch: `beats`
+    /// is cleared and filled.  No allocation when every ring is idle —
+    /// the common case in a polling loop.
+    pub fn service_h2c_into(&mut self, host: &SparseMemory, beats: &mut Vec<H2cBeat>) {
+        beats.clear();
+        let mut qids = std::mem::take(&mut self.qids_scratch);
+        qids.clear();
+        qids.extend(self.queues.keys().copied());
+        if !qids.is_empty() {
+            let mut buffer_used = 0usize;
+            let start = self.rr_cursor % qids.len();
+            'sweep: {
+                for step in 0..qids.len() {
+                    let qid = qids[(start + step) % qids.len()];
+                    loop {
+                        if self.inflight >= self.cfg.max_inflight {
+                            self.stats.inflight_throttles += 1;
+                            self.rr_cursor = (start + step) % qids.len();
+                            break 'sweep;
+                        }
+                        let q = self.queues.get_mut(&qid).expect("queue exists");
+                        // Peek at pending work without exceeding the reorder
+                        // buffer budget for this sweep.
+                        let Some(desc) =
+                            Self::fetch_one_within(q, self.cfg.reorder_buffer_bytes, buffer_used)
+                        else {
+                            break;
+                        };
+                        buffer_used += desc.len as usize;
+                        self.inflight += 1;
+                        self.stats.h2c_descriptors += 1;
+                        self.stats.h2c_bytes += desc.len as u64;
+                        if buffer_used >= self.cfg.reorder_buffer_bytes {
+                            self.stats.reorder_throttles += 1;
+                        }
+                        let data = host.read(desc.src_addr, desc.len as usize);
+                        beats.push(H2cBeat {
+                            qid,
+                            if_type: desc.control.if_type,
+                            user: desc.user,
+                            data,
+                        });
+                    }
+                }
+                self.rr_cursor = start + 1;
+            }
         }
-        // The next descriptor must fit in the remaining reorder budget
-        // (a descriptor larger than the whole buffer streams alone).
-        let descs = q.h2c.fetch(1);
-        let desc = descs.into_iter().next()?;
+        self.qids_scratch = qids;
+    }
+
+    fn fetch_one_within(q: &mut QueueSet, budget: usize, used: usize) -> Option<Descriptor> {
+        let desc = q.h2c.fetch_one()?;
         if used > 0 && used + desc.len as usize > budget {
             // Doesn't fit this sweep — QDMA would stall the fetch; we
             // model that by pushing it back for the next sweep.
+            // (A descriptor larger than the whole buffer streams alone.)
             q.h2c
                 .post(desc)
                 .expect("slot just freed");
@@ -212,8 +223,7 @@ impl DescriptorEngine {
         user: u64,
     ) -> Result<(), C2hError> {
         let q = self.queues.get_mut(&qid).ok_or(C2hError::UnknownQueue)?;
-        let descs = q.c2h.fetch(1);
-        let desc = descs.into_iter().next().ok_or(C2hError::NoDescriptor)?;
+        let desc = q.c2h.fetch_one().ok_or(C2hError::NoDescriptor)?;
         if payload.len() > desc.len as usize {
             // Descriptor can't hold the payload; put it back and fail.
             q.c2h.post(desc).expect("slot just freed");
@@ -390,6 +400,32 @@ mod tests {
         assert_eq!(beats.len(), 2);
         let beats = e.service_h2c(&host);
         assert_eq!(beats.len(), 1);
+    }
+
+    #[test]
+    fn service_h2c_into_reuses_scratch_and_matches() {
+        let mut host = SparseMemory::new();
+        let payload = vec![0xA5u8; 1024];
+        host.write(0x1000, &payload);
+        let mut e = engine_with_queues(2);
+        let mut beats = Vec::new();
+        // Idle sweep: no beats, scratch untouched beyond a clear.
+        e.service_h2c_into(&host, &mut beats);
+        assert!(beats.is_empty());
+        for qid in 0..2u16 {
+            e.queue_mut(qid)
+                .unwrap()
+                .h2c
+                .post(Descriptor::h2c(0x1000, 1024, IfType::Replication, 0).with_user(qid as u64))
+                .unwrap();
+        }
+        e.service_h2c_into(&host, &mut beats);
+        assert_eq!(beats.len(), 2);
+        assert_eq!(&beats[0].data[..], &payload[..]);
+        // A second sweep clears stale beats instead of appending.
+        e.service_h2c_into(&host, &mut beats);
+        assert!(beats.is_empty());
+        assert_eq!(e.stats().h2c_descriptors, 2);
     }
 
     #[test]

@@ -78,16 +78,35 @@ impl DescriptorRing {
         Ok(())
     }
 
+    /// Hardware side: fetch one descriptor, advancing CIDX.  The
+    /// allocation-free primitive the batch fetches are built on.
+    pub fn fetch_one(&mut self) -> Option<Descriptor> {
+        if self.pending() == 0 {
+            return None;
+        }
+        let idx = self.cidx as usize % self.slots.len();
+        let desc = self.slots[idx].take().expect("pending slot must be filled");
+        self.cidx = self.cidx.wrapping_add(1) % self.slots.len() as u16;
+        self.fetched += 1;
+        Some(desc)
+    }
+
+    /// Hardware side: fetch up to `max` descriptors into caller scratch.
+    /// `out` is cleared and filled; returns the count.  No allocation,
+    /// even when the ring is empty.
+    pub fn fetch_into(&mut self, max: usize, out: &mut Vec<Descriptor>) -> usize {
+        out.clear();
+        while out.len() < max {
+            let Some(desc) = self.fetch_one() else { break };
+            out.push(desc);
+        }
+        out.len()
+    }
+
     /// Hardware side: fetch up to `max` descriptors, advancing CIDX.
     pub fn fetch(&mut self, max: usize) -> Vec<Descriptor> {
         let mut out = Vec::new();
-        while out.len() < max && self.pending() > 0 {
-            let idx = self.cidx as usize % self.slots.len();
-            let desc = self.slots[idx].take().expect("pending slot must be filled");
-            out.push(desc);
-            self.cidx = self.cidx.wrapping_add(1) % self.slots.len() as u16;
-            self.fetched += 1;
-        }
+        self.fetch_into(max, &mut out);
         out
     }
 }
@@ -153,5 +172,40 @@ mod tests {
     #[should_panic(expected = "ring size")]
     fn non_power_of_two_rejected() {
         DescriptorRing::new(6);
+    }
+
+    #[test]
+    fn fetch_one_matches_fetch() {
+        let mut a = DescriptorRing::new(8);
+        let mut b = DescriptorRing::new(8);
+        for i in 0..5 {
+            a.post(desc(i)).unwrap();
+            b.post(desc(i)).unwrap();
+        }
+        for _ in 0..5 {
+            assert_eq!(a.fetch_one(), b.fetch(1).into_iter().next());
+        }
+        assert_eq!(a.fetch_one(), None);
+        assert!(b.fetch(1).is_empty());
+        assert_eq!(a.counters(), b.counters());
+        assert_eq!((a.pidx(), a.cidx()), (b.pidx(), b.cidx()));
+    }
+
+    #[test]
+    fn fetch_into_reuses_scratch() {
+        let mut r = DescriptorRing::new(8);
+        let mut out = Vec::new();
+        assert_eq!(r.fetch_into(4, &mut out), 0);
+        assert!(out.is_empty());
+        for i in 0..5 {
+            r.post(desc(i)).unwrap();
+        }
+        assert_eq!(r.fetch_into(3, &mut out), 3);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[2].len, 2);
+        // Scratch is cleared on reuse, not appended to.
+        assert_eq!(r.fetch_into(10, &mut out), 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(r.counters(), (5, 5));
     }
 }

@@ -173,6 +173,13 @@ impl IoUring {
         self.cq_cons.pop_batch(max)
     }
 
+    /// Harvest up to `max` completions into caller scratch: `out` is
+    /// cleared and filled.  Returns the count; an empty completion ring
+    /// allocates nothing.
+    pub fn peek_cqes_into(&mut self, max: usize, out: &mut Vec<Cqe>) -> usize {
+        self.cq_cons.pop_batch_into(max, out)
+    }
+
     /// Total "syscalls" performed (enter calls in non-kernel-polled
     /// modes).
     pub fn syscalls(&self) -> u64 {
@@ -336,6 +343,22 @@ mod tests {
         assert_eq!(cqes[1].result, -ECANCELED);
         assert_eq!(cqes[2].result, -ECANCELED);
         assert!(cqes[3].is_ok(), "ops after the chain run normally");
+    }
+
+    #[test]
+    fn peek_cqes_into_reuses_scratch() {
+        let mut ring = IoUring::setup(8, RingMode::Polled).unwrap();
+        let mut out = vec![Cqe::ok(99, 0)]; // stale contents must be cleared
+        assert_eq!(ring.peek_cqes_into(4, &mut out), 0);
+        assert!(out.is_empty());
+        for i in 0..3 {
+            ring.prepare(Sqe::nop(i));
+        }
+        ring.enter(&mut echo_completer());
+        assert_eq!(ring.peek_cqes_into(2, &mut out), 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(ring.peek_cqes_into(2, &mut out), 1);
+        assert_eq!(out[0].user_data, 2);
     }
 
     #[test]

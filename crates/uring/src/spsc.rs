@@ -158,13 +158,21 @@ impl<T> Consumer<T> {
     /// Drain up to `max` entries into a vector.
     pub fn pop_batch(&mut self, max: usize) -> Vec<T> {
         let mut out = Vec::new();
+        self.pop_batch_into(max, &mut out);
+        out
+    }
+
+    /// Drain up to `max` entries into caller scratch: `out` is cleared
+    /// and filled.  Returns the count; an empty ring allocates nothing.
+    pub fn pop_batch_into(&mut self, max: usize, out: &mut Vec<T>) -> usize {
+        out.clear();
         while out.len() < max {
             match self.pop() {
                 Some(v) => out.push(v),
                 None => break,
             }
         }
-        out
+        out.len()
     }
 
     /// Number of entries available (approximate under concurrency).
@@ -236,6 +244,21 @@ mod tests {
         assert_eq!(c.len(), 6);
         let rest = c.pop_batch(usize::MAX);
         assert_eq!(rest.len(), 6);
+    }
+
+    #[test]
+    fn pop_batch_into_clears_and_fills() {
+        let (mut p, mut c) = ring::<u32>(16);
+        let mut out = vec![77, 88]; // stale contents must be cleared
+        assert_eq!(c.pop_batch_into(4, &mut out), 0);
+        assert!(out.is_empty());
+        for i in 0..6 {
+            p.push(i).unwrap();
+        }
+        assert_eq!(c.pop_batch_into(4, &mut out), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(c.pop_batch_into(4, &mut out), 2);
+        assert_eq!(out, vec![4, 5]);
     }
 
     #[test]
