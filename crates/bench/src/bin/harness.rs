@@ -8,6 +8,7 @@
 //!              table1 table2 table3 power realworld headline dfx
 //!              ablation mtu breakdown
 //!              perf (wall-clock gate; never part of `all`)
+//!              chaos (fault-plane soak; never part of `all`)
 //!              all (default)
 //!
 //! --json         emit the results as JSON instead of text tables
@@ -22,7 +23,9 @@ use deliba_bench::*;
 
 /// Everything `all` expands to.  `perf` is deliberately absent: its
 /// wall-clock cells are nondeterministic and `harness all` output must
-/// stay bit-reproducible run to run.
+/// stay bit-reproducible run to run.  `chaos` is absent for a different
+/// reason: it describes the fault plane, not a paper figure, and keeping
+/// it out preserves the fault-free baseline byte for byte.
 const ALL: &[&str] = &[
     "table1", "table2", "table3", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
     "power", "realworld", "headline", "dfx", "ablation", "mtu", "breakdown",
@@ -31,6 +34,7 @@ const ALL: &[&str] = &[
 const KNOWN: &[&str] = &[
     "all", "table1", "table2", "table3", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
     "power", "realworld", "headline", "dfx", "ablation", "mtu", "breakdown", "perf",
+    "chaos",
 ];
 
 fn usage() -> ! {
@@ -117,6 +121,7 @@ fn main() {
             "mtu" => mtu(),
             "breakdown" => breakdown(),
             "perf" => perf(),
+            "chaos" => chaos(),
             other => unreachable!("validated above: {other}"),
         };
         if !json {

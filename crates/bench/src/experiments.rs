@@ -965,6 +965,107 @@ pub fn perf() -> Experiment {
     }
 }
 
+// ---------------------------------------------------------------------
+// Chaos soak (fault plane + resilience policy)
+// ---------------------------------------------------------------------
+
+/// The chaos soak: a pinned-seed fault schedule thrown at a
+/// write-then-read-back trace, once per redundancy mode.  Every scheduled
+/// fault class fires mid-trace — an OSD crash, an OSD flap, a lossy/
+/// corrupting link window, a DMA error window, a full card outage with
+/// FPGA→software failover, and a DFX swap — while the engine's retry/
+/// deadline/backoff policy keeps the data flowing.  The acceptance bar is
+/// `verify failures == 0` with nonzero retries, timeouts and failovers.
+///
+/// Deliberately *excluded* from `harness all` (like `perf`): its cells
+/// describe the fault plane, not a paper figure, and `harness all` output
+/// must stay byte-identical to the fault-free baseline.
+pub fn chaos() -> Experiment {
+    use deliba_core::TraceOp;
+    use deliba_fault::{FaultSchedule, ResiliencePolicy};
+    use deliba_net::LinkFaultProfile;
+    use deliba_qdma::DmaFaultProfile;
+    use deliba_sim::{SimDuration, SimTime};
+
+    const JOBS: u64 = 2;
+    const OPS_PER_JOB: u64 = CELL_OPS / JOBS; // writes + read-backs per job
+    let ms = |n: u64| SimTime::from_nanos(n * 1_000_000);
+
+    // Each job writes its own extent range, then reads every block back —
+    // the read-back half is what turns silent corruption into a verify
+    // failure.
+    let trace = |job: u64| -> Vec<TraceOp> {
+        let half = OPS_PER_JOB / 2;
+        let base = job * half * 4096;
+        let mut ops = Vec::with_capacity(OPS_PER_JOB as usize);
+        for i in 0..half {
+            ops.push(TraceOp::write(base + i * 4096, 4096, true));
+        }
+        for i in 0..half {
+            ops.push(TraceOp::read(base + i * 4096, 4096, true));
+        }
+        ops
+    };
+
+    // One instance of every fault class, spread across the soak window.
+    let schedule = || {
+        FaultSchedule::new()
+            .osd_crash(ms(3), 7)
+            .osd_flap(ms(10), 19, SimDuration::from_millis(6))
+            .link_degrade(ms(6), LinkFaultProfile { drop_p: 0.2, corrupt_p: 0.05 })
+            .link_restore(ms(12))
+            .dfx_swap(ms(14), RmId::Tree)
+            .dma_degrade(
+                ms(16),
+                DmaFaultProfile { h2c_error_p: 0.1, c2h_error_p: 0.1, exhaust_p: 0.2 },
+            )
+            .dma_restore(ms(22))
+            .card_outage(ms(26), SimDuration::from_millis(6))
+    };
+
+    let mut cells = Vec::new();
+    for mode in [Mode::Replication, Mode::ErasureCoding] {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, mode)
+            .with_resilience(ResiliencePolicy::default());
+        let mut e = Engine::new(cfg);
+        e.set_fault_schedule(schedule());
+        let r = e.run_trace((0..JOBS).map(trace).collect(), 4);
+        let res = r.resilience.expect("chaos runs report resilience counters");
+        let config = format!("DeLiBA-K chaos {}", mode.label());
+        let mut cell = |workload: &str, unit: &'static str, measured: f64, paper: Option<f64>| {
+            cells.push(Cell {
+                config: config.clone(),
+                workload: workload.into(),
+                unit,
+                measured,
+                paper,
+            });
+        };
+        cell("ops completed", "ops", r.ops as f64, None);
+        cell("verify failures", "ops", r.verify_failures as f64, Some(0.0));
+        cell("retries", "ops", res.retries as f64, None);
+        cell("timeouts", "ops", res.timeouts as f64, None);
+        cell("failovers", "ops", res.failovers as f64, None);
+        cell("retry budget exhausted", "ops", res.exhausted as f64, None);
+        cell("degraded reads", "ops", res.degraded_reads as f64, None);
+        cell("fpga failovers", "ops", res.fpga_failovers as f64, None);
+        cell("sw-path ops (card down)", "ops", res.degraded_path_ops as f64, None);
+        cell("osd crashes", "ops", res.osd_crashes as f64, None);
+        cell("dfx swaps", "ops", res.dfx_swaps as f64, None);
+        cell("dropped frames", "ops", res.dropped_frames as f64, None);
+        cell("corrupt frames", "ops", res.corrupt_frames as f64, None);
+        cell("dma errors", "ops", res.dma_errors as f64, None);
+        cell("availability", "%", 100.0 * res.availability(r.ops), None);
+        cell("time to recover", "µs", res.recovery_time_us, None);
+    }
+
+    Experiment {
+        id: "chaos".into(),
+        caption: "chaos soak: pinned-seed fault schedule vs retry/failover policy".into(),
+        cells,
+    }
+}
+
 /// Table I companion: verify the accelerator models agree with the
 /// functional software implementations (placement and parity equality),
 /// returning the number of cross-checked operations.

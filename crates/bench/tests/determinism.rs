@@ -6,7 +6,11 @@
 //! additionally diffs whole-process output).
 
 use deliba_bench::runner;
-use deliba_core::{Engine, EngineConfig, FioSpec, Generation, Mode, Pattern, RwMode};
+use deliba_core::{Engine, EngineConfig, FioSpec, Generation, Mode, Pattern, RwMode, TraceOp};
+use deliba_fault::{FaultSchedule, ResiliencePolicy};
+use deliba_net::LinkFaultProfile;
+use deliba_qdma::DmaFaultProfile;
+use deliba_sim::{SimDuration, SimTime};
 
 /// Same seed, same config → bit-identical serialized `RunReport`.
 #[test]
@@ -27,6 +31,60 @@ fn same_seed_reports_are_bit_identical() {
             "{g:?}/{mode:?}/{rw:?} must reproduce bit-identically"
         );
     }
+}
+
+/// Mid-trace faults do not break determinism: the same seed and the
+/// same `FaultSchedule` produce a bit-identical serialized `RunReport`
+/// — resilience counters included — run after run.
+#[test]
+fn chaos_run_with_same_seed_and_schedule_is_bit_identical() {
+    let ms = |n: u64| SimTime::from_nanos(n * 1_000_000);
+    let run = |mode| {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, mode)
+            .with_resilience(ResiliencePolicy::default());
+        let mut e = Engine::new(cfg);
+        e.set_fault_schedule(
+            FaultSchedule::new()
+                .osd_flap(ms(1), 9, SimDuration::from_millis(3))
+                .link_degrade(ms(2), LinkFaultProfile { drop_p: 0.15, corrupt_p: 0.05 })
+                .link_restore(ms(6))
+                .dma_degrade(
+                    ms(4),
+                    DmaFaultProfile { h2c_error_p: 0.1, c2h_error_p: 0.1, exhaust_p: 0.2 },
+                )
+                .dma_restore(ms(8))
+                .card_outage(ms(10), SimDuration::from_millis(3)),
+        );
+        let mut ops = Vec::new();
+        for i in 0..600u64 {
+            ops.push(TraceOp::write(i * 4096, 4096, true));
+        }
+        for i in 0..600u64 {
+            ops.push(TraceOp::read(i * 4096, 4096, true));
+        }
+        let r = e.run_trace(vec![ops], 4);
+        assert_eq!(r.verify_failures, 0, "{mode:?}: corruption under chaos");
+        let res = r.resilience.expect("chaos runs report resilience");
+        assert!(res.retries > 0, "{mode:?}: the schedule must actually bite");
+        serde_json::to_string(&r).expect("serializable")
+    };
+    for mode in [Mode::Replication, Mode::ErasureCoding] {
+        assert_eq!(run(mode), run(mode), "{mode:?} chaos must replay bit-identically");
+    }
+}
+
+/// The chaos experiment is a plain serial function, so `DELIBA_JOBS`
+/// and the runner mode must not change a byte of its output — the same
+/// guarantee CI pins for the whole harness binary.
+#[test]
+fn chaos_experiment_ignores_worker_count() {
+    std::env::set_var("DELIBA_JOBS", "3");
+    runner::set_serial(true);
+    let serial = serde_json::to_string(&deliba_bench::chaos()).expect("serializable");
+    runner::set_serial(false);
+    let parallel = serde_json::to_string(&deliba_bench::chaos()).expect("serializable");
+    std::env::remove_var("DELIBA_JOBS");
+    assert_eq!(serial, parallel, "chaos output must not depend on worker count");
 }
 
 /// A representative sweep (Table II: 20 cells, five engine configs)

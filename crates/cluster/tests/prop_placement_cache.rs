@@ -120,6 +120,54 @@ proptest! {
         prop_assert!(stats.misses > 0, "{:?}", stats);
     }
 
+    /// The fault-plane contract: once an OSD dies mid-run, the cache
+    /// must never serve a pre-failure acting set again.  `mark_osd_down`
+    /// bumps the epoch, so every subsequent lookup either misses (and
+    /// re-walks CRUSH, which rejects out devices) or hits an entry
+    /// refilled at the post-failure epoch — the victim can appear in no
+    /// served set, no matter how warm the cache was before the crash.
+    #[test]
+    fn dead_osd_never_served_from_cache(
+        victim in 0i32..(HOSTS * PER_HOST) as i32,
+        lookups_before in 1usize..4,
+    ) {
+        let mut m = testbed();
+        m.set_placement_cache_enabled(true);
+        // Warm the cache hard: every PG cached at the healthy epoch,
+        // several times over.
+        for _ in 0..lookups_before {
+            for pool in [1u32, 2] {
+                for seq in 0..64 {
+                    m.acting_set(PgId { pool, seq });
+                }
+            }
+        }
+        let invalidations_before = m.placement_cache_stats().invalidations;
+        m.mark_osd_down(victim);
+        for pool in [1u32, 2] {
+            for seq in 0..64 {
+                let pg = PgId { pool, seq };
+                let acting = m.acting_set(pg);
+                prop_assert!(
+                    !acting.contains(&victim),
+                    "pool {} pg {} served dead osd {} in {:?}",
+                    pool, seq, victim, acting
+                );
+                // And the served set is exactly the post-failure walk.
+                let p = m.pool(pool).unwrap();
+                let fresh = m.crush().do_rule(p.crush_rule, p.pg_seed(pg), p.kind.width());
+                prop_assert_eq!(acting, fresh);
+            }
+        }
+        prop_assert!(
+            m.placement_cache_stats().invalidations > invalidations_before,
+            "the death epoch must have flushed the cache"
+        );
+        // Revival restores the victim's eligibility through the same path.
+        m.mark_osd_up(victim);
+        check_all_pgs(&m);
+    }
+
     #[test]
     fn disabled_cache_is_equivalent(
         osd in 0i32..(HOSTS * PER_HOST) as i32,

@@ -19,10 +19,12 @@ use crate::generation::PathFeatures;
 use crate::hostpath::host_costs;
 use crate::report::RunReport;
 use crate::Generation;
+use crate::report::ResilienceCounters;
 use deliba_cluster::{Cluster, ObjectId, RbdImage};
+use deliba_fault::{FailCause, FaultKind, FaultPlane, FaultSchedule, ResiliencePolicy};
 use deliba_fpga::accel::HLS_LATENCY_INFLATION;
 use deliba_fpga::{AlveoU280, RmId};
-use deliba_net::TcpStack;
+use deliba_net::{LinkVerdict, TcpStack};
 use deliba_qdma::PciePipes;
 use deliba_sim::{
     Counter, EventQueue, Histogram, Server, SimDuration, SimRng, SimTime, Stage, StageTracer,
@@ -184,6 +186,11 @@ pub struct EngineConfig {
     /// the tracer is only allocated — and per-stage histograms only
     /// touched — when this is set, so plain runs pay nothing.
     pub trace_stages: bool,
+    /// Resilience policy: per-I/O deadline, bounded retry with
+    /// exponential backoff + deterministic jitter.  `None` (the
+    /// default) fails fast exactly as before — no retries, no deadline
+    /// accounting, and `RunReport` carries no resilience block.
+    pub resilience: Option<ResiliencePolicy>,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -199,6 +206,7 @@ impl EngineConfig {
             features: generation.features(),
             jumbo_frames: false,
             trace_stages: false,
+            resilience: None,
             seed: 42,
         }
     }
@@ -206,6 +214,12 @@ impl EngineConfig {
     /// Enable per-I/O stage tracing.
     pub fn with_tracing(mut self) -> Self {
         self.trace_stages = true;
+        self
+    }
+
+    /// Enable the retry/timeout/failover policy.
+    pub fn with_resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = Some(policy);
         self
     }
 
@@ -222,6 +236,34 @@ impl EngineConfig {
 
 /// Image size the benchmarks address (1 GiB working set).
 pub const IMAGE_BYTES: u64 = 1 << 30;
+
+/// Outcome of a single I/O attempt (the retry loop's unit of work).
+/// Failed attempts never touch the latency histogram, the tracer, or
+/// context occupancy — only the final disposition of the op does.
+enum AttemptResult {
+    /// The attempt completed; `start` is when the submission context
+    /// picked it up, `complete` when the completion posted.
+    Done { start: SimTime, complete: SimTime },
+    /// The attempt failed at `at` for `cause`.
+    Fail { start: SimTime, at: SimTime, cause: FailCause },
+}
+
+/// What the scheduler does with an op after one attempt.
+enum IoDisposition {
+    /// The op is finished (served, abandoned, or fast-failed) — record
+    /// its latency and free the queue-depth slot.
+    Done { start: SimTime, complete: SimTime },
+    /// Re-enqueue the op at `at` (backoff elapsed); the slot stays held.
+    Retry { at: SimTime, attempt: u32, first_start: SimTime },
+}
+
+/// Event-queue token: a free queue-depth slot pulling the next trace op,
+/// or a backed-off attempt returning for its retry.
+#[derive(Clone, Copy)]
+enum Token {
+    Slot(u32),
+    Retry { job: u32, op: TraceOp, attempt: u32, first_start: SimTime },
+}
 
 /// The end-to-end engine.
 pub struct Engine {
@@ -254,6 +296,15 @@ pub struct Engine {
     /// Completions consumed by the fused submit→dispatch→post fast path
     /// (no event-queue round trip; perf accounting only).
     fused: u64,
+    /// The armed fault plane (`None` unless a schedule was installed —
+    /// an absent plane draws nothing and changes no timing).
+    faults: Option<FaultPlane>,
+    /// Engine-side resilience counters (retries, timeouts, failovers…).
+    res: ResilienceCounters,
+    /// The card is faulted: route I/O over the software host path.
+    fpga_down: bool,
+    /// When the outstanding card fault began (time-to-recover basis).
+    card_fault_at: Option<SimTime>,
 }
 
 impl Engine {
@@ -290,7 +341,32 @@ impl Engine {
             place_buf: Vec::new(),
             events: 0,
             fused: 0,
+            faults: None,
+            res: ResilienceCounters::default(),
+            fpga_down: false,
+            card_fault_at: None,
         }
+    }
+
+    /// Arm the fault plane with a timed schedule.  Injector streams are
+    /// derived from the engine seed, independent of the workload RNG,
+    /// so the same seed + schedule replay bit-identically.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.faults = Some(FaultPlane::new(schedule, self.cfg.seed));
+    }
+
+    /// Snapshot of the resilience counters, merging the per-layer
+    /// injector tallies (frame drops/corruptions, DMA errors/stalls)
+    /// into the engine-side ones (retries, timeouts, failovers).
+    pub fn resilience_counters(&self) -> ResilienceCounters {
+        let mut res = self.res;
+        if let Some(plane) = &self.faults {
+            res.dropped_frames = plane.link.drops();
+            res.corrupt_frames = plane.link.corrupts();
+            res.dma_errors = plane.dma.h2c_errors() + plane.dma.c2h_errors();
+            res.dma_stalls = plane.dma.stalls();
+        }
+        res
     }
 
     /// The configuration.
@@ -399,16 +475,152 @@ impl Engine {
         ObjectId::new(self.image.pool, z ^ (z >> 31))
     }
 
-    /// Execute one I/O issued at `ready`; returns (start, completion).
+    /// Apply every scheduled fault due at or before `now`.  The engine's
+    /// processed event times are monotone nondecreasing (the fused fast
+    /// path only fires when strictly earlier than the heap head), so
+    /// sweeping "due at ≤ now" at each op fires every fault exactly once,
+    /// in order, at the first op that reaches its instant.
+    fn apply_due_faults(&mut self, now: SimTime) {
+        loop {
+            let Some(kind) = self.faults.as_mut().and_then(|p| p.due(now)) else {
+                return;
+            };
+            match kind {
+                FaultKind::OsdCrash { osd } => {
+                    // mark_osd_down bumps the map epoch: the placement
+                    // cache invalidates and retries re-place through the
+                    // post-failure CRUSH walk.
+                    self.cluster.fail_osd(osd);
+                    self.res.osd_crashes += 1;
+                }
+                FaultKind::OsdRevive { osd } => self.cluster.revive_osd(osd),
+                // Profile windows are time-indexed, not cursor-driven:
+                // each attempt syncs the injector to the profile in force
+                // at its own instant (`FaultPlane::sync_link/sync_dma`),
+                // so a backed-off retry crossing a restore boundary sees
+                // the healthy link without dragging the whole plane
+                // forward past windows other in-flight ops still occupy.
+                FaultKind::LinkDegrade(_) | FaultKind::DmaDegrade(_) => {}
+                FaultKind::CardFault => {
+                    if let Some(card) = self.card.as_mut() {
+                        card.inject_fault();
+                    }
+                    if self.cfg.fpga && !self.fpga_down {
+                        self.fpga_down = true;
+                        self.card_fault_at = Some(now);
+                        self.res.fpga_failovers += 1;
+                    }
+                }
+                FaultKind::CardRecover => {
+                    if let Some(card) = self.card.as_mut() {
+                        card.clear_fault();
+                    }
+                    self.fpga_down = false;
+                    if let Some(t0) = self.card_fault_at.take() {
+                        self.res.recovery_time_us +=
+                            now.saturating_since(t0).as_nanos() as f64 / 1_000.0;
+                    }
+                }
+                FaultKind::DfxSwap { target } => {
+                    if let Some(card) = self.card.as_mut() {
+                        // Busy / already-active swaps are simply not
+                        // restarted — same as a real MCAP controller
+                        // rejecting a second load command.
+                        if card.reconfigure(now, target).is_ok() {
+                            self.res.dfx_swaps += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Execute one attempt of an I/O issued at `ready` (attempt 0 is the
+    /// original submission), applying the resilience policy.  A failed
+    /// attempt with retry budget left is *not* resolved in place — the
+    /// caller re-enqueues it at the returned instant, so the backoff wait
+    /// happens on the event queue and never occupies the submission
+    /// context, the PCIe pipe, or any other shared resource timeline.
+    /// `first_start` carries the original attempt's start so a retried
+    /// op's completion latency spans every attempt, as fio would see it.
+    fn do_io(
+        &mut self,
+        ready: SimTime,
+        job: u32,
+        op: TraceOp,
+        attempt: u32,
+        first_start: Option<SimTime>,
+    ) -> IoDisposition {
+        match self.attempt_io(ready, job, op) {
+            AttemptResult::Done { start, complete } => {
+                let start = first_start.unwrap_or(start);
+                if let Some(p) = self.cfg.resilience {
+                    if complete.saturating_since(start) > p.deadline {
+                        // The op made it, but past its deadline — the
+                        // requester above us already gave up on it.
+                        self.res.timeouts += 1;
+                    }
+                    if attempt > 0 {
+                        self.res.failovers += 1;
+                    }
+                }
+                IoDisposition::Done { start, complete }
+            }
+            AttemptResult::Fail { start, at, cause } => {
+                let start = first_start.unwrap_or(start);
+                let Some(p) = self.cfg.resilience else {
+                    // No policy: fail fast exactly as before the fault
+                    // plane existed — charge a timeout-scale penalty and
+                    // move on.
+                    self.degraded_ops += 1;
+                    return IoDisposition::Done {
+                        start,
+                        complete: at + SimDuration::from_millis(30),
+                    };
+                };
+                // Silent failures (dropped frames) are only discovered
+                // when the deadline expires; explicit error signals
+                // arrive with the failure itself.
+                let detected = if cause.is_silent() {
+                    self.res.timeouts += 1;
+                    ready + p.deadline
+                } else {
+                    at
+                };
+                if attempt >= p.max_retries {
+                    self.res.exhausted += 1;
+                    self.degraded_ops += 1;
+                    return IoDisposition::Done { start, complete: detected };
+                }
+                let unit = self.faults.as_mut().map_or(0.0, |pl| pl.jitter_unit());
+                self.res.retries += 1;
+                IoDisposition::Retry {
+                    at: detected + p.backoff(attempt, unit),
+                    attempt: attempt + 1,
+                    first_start: start,
+                }
+            }
+        }
+    }
+
+    /// One attempt of one I/O issued at `ready`; returns (start,
+    /// completion) or the failure instant and cause.
     /// `start` is when the submission context actually picks the op up —
     /// the basis for fio-style completion latency (time queued behind the
     /// submitting core's own backlog is submission latency, not clat).
-    fn do_io(&mut self, ready: SimTime, job: u32, op: TraceOp) -> (SimTime, SimTime) {
+    fn attempt_io(&mut self, ready: SimTime, job: u32, op: TraceOp) -> AttemptResult {
         let write = op.write;
         let bytes = op.len as u64;
+        // Graceful degradation: while the card is faulted the I/O runs
+        // the software host path end to end (host CRUSH, host EC, kernel
+        // TCP) — slower, but the data keeps flowing.
+        let use_fpga = self.cfg.fpga && !self.fpga_down;
+        if self.fpga_down {
+            self.res.degraded_path_ops += 1;
+        }
         let costs = host_costs(
             &self.cfg.features,
-            self.cfg.fpga,
+            use_fpga,
             write,
             op.random,
             bytes,
@@ -429,12 +641,29 @@ impl Engine {
         // --- PCIe + card + FPGA network stack ---------------------------
         let mut ec_shards: Option<(Vec<Vec<u8>>, usize)> = None;
         let payload = write.then(|| self.payload_for(op.len as usize));
-        if self.cfg.fpga {
+        if use_fpga {
             // Payload (writes) or command (reads) crosses PCIe.
             let dma_bytes = if write { bytes } else { 256 };
+            // Descriptor exhaustion stalls the fetch engine until
+            // credits replenish — added latency, not a failure.
+            if let Some(stall) = self
+                .faults
+                .as_mut()
+                .and_then(|p| if p.sync_dma(t) { p.dma.assess_fetch() } else { None })
+            {
+                t += stall;
+            }
             let pre_h2c = t;
             t = self.pcie.h2c_transfer(t, dma_bytes);
             span_h2c = t.saturating_since(pre_h2c);
+            // The completion engine reports H2C errors as soon as the
+            // transfer finishes; the transfer still occupied the pipe.
+            if self.faults.as_mut().is_some_and(|p| p.sync_dma(t) && p.dma.assess_h2c()) {
+                if let Some(buf) = payload {
+                    self.scratch = buf;
+                }
+                return AttemptResult::Fail { start, at: t, cause: FailCause::DmaH2c };
+            }
             // Placement kernel runs as data streams through the card:
             // execute the *real* CRUSH rule on the device model so DFX
             // swaps, fallbacks and cycle budgets are all exercised.
@@ -496,13 +725,33 @@ impl Engine {
             ec_shards = Some((rs.encode(data), data.len()));
         }
 
+        // A dropped request frame vanishes between the NIC and the OSD:
+        // no server-side effect, and no signal back — the failure is only
+        // discovered by the requester's own deadline.
+        if self
+            .faults
+            .as_mut()
+            .is_some_and(|p| p.sync_link(t) && p.link.assess_request() == LinkVerdict::Drop)
+        {
+            if let Some(buf) = payload {
+                self.scratch = buf;
+            }
+            return AttemptResult::Fail { start, at: t, cause: FailCause::LinkDrop };
+        }
+
         // --- Cluster ----------------------------------------------------
         let (obj, obj_off) = self.image.object_of(op.offset);
+        // Checksum of the write in flight, recorded into `written` only
+        // once the cluster confirms the commit: a failed write leaves
+        // the pre-write state visible, and verification must agree.
+        let mut pending_write_sum: Option<((u64, u32), u64)> = None;
         let outcome = match (self.cfg.mode, write) {
             (Mode::Replication, true) => {
                 let data = payload.as_ref().expect("write has payload");
-                self.written
-                    .insert((obj.name, (op.offset % self.image.object_size) as u32), Self::checksum(data));
+                pending_write_sum = Some((
+                    (obj.name, (op.offset % self.image.object_size) as u32),
+                    Self::checksum(data),
+                ));
                 self.cluster
                     .write_replicated_at(t, obj, obj_off as usize, data, op.random)
             }
@@ -535,8 +784,7 @@ impl Engine {
                 let (shards, orig_len) = ec_shards.expect("EC write encoded");
                 let oid = self.ec_oid(obj.name, op.offset);
                 let data = payload.as_ref().expect("write has payload");
-                self.written
-                    .insert((oid.name, 0), Self::checksum(data));
+                pending_write_sum = Some(((oid.name, 0), Self::checksum(data)));
                 self.cluster
                     .write_ec_shards(t, oid, orig_len, shards, op.random)
             }
@@ -571,23 +819,62 @@ impl Engine {
         }
 
         let Some(outcome) = outcome else {
-            // The cluster could not serve the op (catastrophic failure
-            // injection); charge a timeout-scale penalty.
-            self.degraded_ops += 1;
-            return (start, t + SimDuration::from_millis(30));
+            // The cluster could not serve the op at this map epoch (too
+            // many replicas/shards unavailable).  The retry path
+            // re-places through the epoch-bumped CRUSH walk; without a
+            // policy the caller charges the legacy timeout penalty.
+            return AttemptResult::Fail {
+                start,
+                at: t,
+                cause: FailCause::ClusterUnavailable,
+            };
         };
+        // The commit stands even if the acknowledgement is lost below.
+        if let Some((key, sum)) = pending_write_sum {
+            self.written.insert(key, sum);
+        }
         if outcome.degraded {
             self.degraded_ops += 1;
+            if !write {
+                self.res.degraded_reads += 1;
+            }
         }
         let mut complete = outcome.complete;
 
+        // A corrupted response frame fails its FCS/checksum on arrival
+        // and is discarded — the server-side effect stands (the write
+        // committed, the read was served), only the acknowledgement is
+        // lost, so the requester sees an explicit error and retries.
+        if self
+            .faults
+            .as_mut()
+            .is_some_and(|p| p.sync_link(complete) && p.link.assess_response() == LinkVerdict::Corrupt)
+        {
+            return AttemptResult::Fail {
+                start,
+                at: complete,
+                cause: FailCause::LinkCorrupt,
+            };
+        }
+
         // --- Return path ------------------------------------------------
         let mut span_c2h = SimDuration::ZERO;
-        if self.cfg.fpga && !write {
+        if use_fpga && !write {
             // Read payload crosses PCIe back to the host buffer.
             let pre_c2h = complete;
             complete = self.pcie.c2h_transfer(complete, bytes);
             span_c2h = complete.saturating_since(pre_c2h);
+            if self
+                .faults
+                .as_mut()
+                .is_some_and(|p| p.sync_dma(complete) && p.dma.assess_c2h())
+            {
+                return AttemptResult::Fail {
+                    start,
+                    at: complete,
+                    cause: FailCause::DmaC2h,
+                };
+            }
         }
         complete += costs.complete_latency;
 
@@ -626,7 +913,7 @@ impl Engine {
         } else {
             self.contexts[ctx_idx].begin(start, costs.occupancy);
         }
-        (start, complete)
+        AttemptResult::Done { start, complete }
     }
 
     /// Run per-job traces closed-loop with the given queue depth.
@@ -637,32 +924,52 @@ impl Engine {
         // Completion tokens: one event per outstanding I/O, FIFO at equal
         // timestamps (the queue's internal sequence number is the
         // tiebreak, exactly as the explicit counter used to be).
-        let mut queue: EventQueue<u32> =
+        let mut queue: EventQueue<Token> =
             EventQueue::with_capacity(jobs.len() * iodepth as usize);
         for (j, ops) in jobs.iter().enumerate() {
             let tokens = (iodepth as usize).min(ops.len());
             for k in 0..tokens {
                 queue.schedule_at(
                     SimTime::from_nanos(100 * (j * iodepth as usize + k) as u64),
-                    j as u32,
+                    Token::Slot(j as u32),
                 );
             }
         }
         let mut last_complete = SimTime::ZERO;
         let mut next = queue.pop();
-        while let Some((ready, job)) = next {
+        while let Some((ready, token)) = next {
             self.events += 1;
-            let idx = cursors[job as usize];
-            if idx >= jobs[job as usize].len() {
-                next = queue.pop();
-                continue;
+            if self.faults.is_some() {
+                self.apply_due_faults(ready);
             }
-            cursors[job as usize] += 1;
-            let op = jobs[job as usize][idx];
-            // Application compute between ops runs on the app's own core,
-            // off every modeled resource.
-            let ready = ready + SimDuration::from_nanos(op.think_ns);
-            let (start, complete) = self.do_io(ready, job, op);
+            let (ready, job, op, attempt, first_start) = match token {
+                Token::Slot(job) => {
+                    let idx = cursors[job as usize];
+                    if idx >= jobs[job as usize].len() {
+                        next = queue.pop();
+                        continue;
+                    }
+                    cursors[job as usize] += 1;
+                    let op = jobs[job as usize][idx];
+                    // Application compute between ops runs on the app's
+                    // own core, off every modeled resource.
+                    (ready + SimDuration::from_nanos(op.think_ns), job, op, 0, None)
+                }
+                Token::Retry { job, op, attempt, first_start } => {
+                    (ready, job, op, attempt, Some(first_start))
+                }
+            };
+            let (start, complete) = match self.do_io(ready, job, op, attempt, first_start) {
+                IoDisposition::Done { start, complete } => (start, complete),
+                IoDisposition::Retry { at, attempt, first_start } => {
+                    // The op waits out its backoff on the event queue —
+                    // its queue-depth slot stays held, but no shared
+                    // resource timeline advances on its behalf.
+                    queue.schedule_at(at, Token::Retry { job, op, attempt, first_start });
+                    next = queue.pop();
+                    continue;
+                }
+            };
             hist.record(complete.saturating_since(start));
             counter.record(op.len as u64);
             last_complete = last_complete.max(complete);
@@ -673,12 +980,12 @@ impl Engine {
             // in place and skip the schedule/pop.
             match queue.peek_time() {
                 Some(head) if head <= complete => {
-                    queue.schedule_at(complete, job);
+                    queue.schedule_at(complete, Token::Slot(job));
                     next = queue.pop();
                 }
                 _ => {
                     self.fused += 1;
-                    next = Some((complete, job));
+                    next = Some((complete, Token::Slot(job)));
                 }
             }
         }
@@ -703,6 +1010,11 @@ impl Engine {
             cache_misses: cache.misses,
             cache_invalidations: cache.invalidations,
         });
+        // The resilience block appears only when the fault plane or the
+        // policy is active, so baseline reports stay byte-identical.
+        if self.faults.is_some() || self.cfg.resilience.is_some() {
+            report.resilience = Some(self.resilience_counters());
+        }
         report
     }
 
@@ -867,5 +1179,226 @@ mod tests {
         let b = quick(cfg, spec);
         assert_eq!(a.mean_latency_us, b.mean_latency_us);
         assert_eq!(a.throughput_mbps, b.throughput_mbps);
+    }
+
+    // --- fault plane / resilience ------------------------------------
+
+    use deliba_net::LinkFaultProfile;
+    use deliba_qdma::DmaFaultProfile;
+
+    /// 50 writes then 50 read-backs, queue depth 1 — the integrity
+    /// shape, ≈7 ms of virtual time for DeLiBA-K HW.
+    fn integrity_ops() -> Vec<TraceOp> {
+        let mut ops = Vec::new();
+        for i in 0..50u64 {
+            ops.push(TraceOp::write(i * 4096, 4096, false));
+        }
+        for i in 0..50u64 {
+            ops.push(TraceOp::read(i * 4096, 4096, false));
+        }
+        ops
+    }
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_nanos(n * 1_000_000)
+    }
+
+    #[test]
+    fn idle_plane_changes_no_timing_and_policy_alone_changes_no_timing() {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication);
+        let base = Engine::new(cfg).run_trace(vec![integrity_ops()], 4);
+
+        // Armed-but-empty schedule: identical modeled timing.
+        let mut e = Engine::new(cfg);
+        e.set_fault_schedule(FaultSchedule::new());
+        let armed = e.run_trace(vec![integrity_ops()], 4);
+        assert_eq!(armed.mean_latency_us, base.mean_latency_us);
+        assert_eq!(armed.p99_latency_us, base.p99_latency_us);
+        assert_eq!(armed.throughput_mbps, base.throughput_mbps);
+        assert!(armed.resilience.is_some(), "armed plane reports counters");
+        assert!(base.resilience.is_none(), "baseline reports none");
+
+        // Policy without faults: nothing fails, nothing changes.
+        let with_policy = Engine::new(cfg.with_resilience(ResiliencePolicy::default()))
+            .run_trace(vec![integrity_ops()], 4);
+        assert_eq!(with_policy.mean_latency_us, base.mean_latency_us);
+        let res = with_policy.resilience.expect("policy reports counters");
+        assert_eq!((res.retries, res.timeouts, res.failovers), (0, 0, 0));
+    }
+
+    #[test]
+    fn mid_trace_osd_crash_keeps_data_intact_via_epoch_bumped_replacement() {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication)
+            .with_resilience(ResiliencePolicy::default());
+        let mut e = Engine::new(cfg);
+        // Crash one OSD mid-write-phase, flap another during read-back.
+        e.set_fault_schedule(
+            FaultSchedule::new()
+                .osd_crash(ms(1), 5)
+                .osd_flap(ms(4), 11, SimDuration::from_millis(2)),
+        );
+        let epoch_before = e.cluster_mut().map().epoch;
+        let r = e.run_trace(vec![integrity_ops()], 1);
+        assert_eq!(r.ops, 100);
+        assert_eq!(r.verify_failures, 0, "read-back must match committed writes");
+        let res = r.resilience.expect("chaos run reports counters");
+        assert_eq!(res.osd_crashes, 2);
+        assert!(
+            e.cluster_mut().map().epoch >= epoch_before + 3,
+            "crash + flap must bump the map epoch (placement cache invalidation)"
+        );
+    }
+
+    #[test]
+    fn link_drop_window_times_out_retries_and_recovers() {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication)
+            .with_resilience(ResiliencePolicy::default());
+        let mut e = Engine::new(cfg);
+        // Total blackout for 2 ms: every request in the window is lost;
+        // the deadline (10 ms) pushes the first retry past the window.
+        e.set_fault_schedule(
+            FaultSchedule::new()
+                .link_degrade(ms(2), LinkFaultProfile { drop_p: 1.0, corrupt_p: 0.0 })
+                .link_restore(ms(4)),
+        );
+        let r = e.run_trace(vec![integrity_ops()], 1);
+        assert_eq!(r.verify_failures, 0);
+        let res = r.resilience.unwrap();
+        assert!(res.dropped_frames > 0, "{res:?}");
+        assert!(res.timeouts > 0, "drops are detected by deadline: {res:?}");
+        assert!(res.retries > 0, "{res:?}");
+        assert!(res.failovers > 0, "ops must recover on retry: {res:?}");
+        assert_eq!(res.exhausted, 0, "blackout shorter than the retry budget: {res:?}");
+        let healthy = Engine::new(cfg).run_trace(vec![integrity_ops()], 1);
+        assert!(
+            r.mean_latency_us > healthy.mean_latency_us + 50.0,
+            "a deadline wait must show in mean latency: {} vs {}",
+            r.mean_latency_us,
+            healthy.mean_latency_us
+        );
+    }
+
+    #[test]
+    fn dma_error_window_fails_fast_and_recovers() {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication)
+            .with_resilience(ResiliencePolicy::default());
+        let mut e = Engine::new(cfg);
+        e.set_fault_schedule(
+            FaultSchedule::new()
+                .dma_degrade(
+                    ms(2),
+                    DmaFaultProfile { h2c_error_p: 1.0, c2h_error_p: 0.0, exhaust_p: 1.0 },
+                )
+                .dma_restore(ms(3)),
+        );
+        let r = e.run_trace(vec![integrity_ops()], 1);
+        assert_eq!(r.verify_failures, 0);
+        let res = r.resilience.unwrap();
+        assert!(res.dma_errors > 0, "{res:?}");
+        assert!(res.dma_stalls > 0, "{res:?}");
+        assert!(res.retries > 0 && res.failovers > 0, "{res:?}");
+        assert_eq!(res.exhausted, 0, "{res:?}");
+        assert_eq!(
+            res.timeouts, 0,
+            "DMA errors carry an explicit signal — no deadline wait: {res:?}"
+        );
+    }
+
+    #[test]
+    fn corrupt_acks_retry_without_data_loss() {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication)
+            .with_resilience(ResiliencePolicy::default());
+        let mut e = Engine::new(cfg);
+        e.set_fault_schedule(
+            FaultSchedule::new()
+                .link_degrade(ms(1), LinkFaultProfile { drop_p: 0.0, corrupt_p: 0.5 })
+                .link_restore(ms(5)),
+        );
+        let r = e.run_trace(vec![integrity_ops()], 1);
+        assert_eq!(r.verify_failures, 0, "corrupt frames are discarded, never consumed");
+        let res = r.resilience.unwrap();
+        assert!(res.corrupt_frames > 0, "{res:?}");
+        assert!(res.failovers > 0, "{res:?}");
+    }
+
+    #[test]
+    fn card_outage_degrades_to_software_path_and_recovers() {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication)
+            .with_resilience(ResiliencePolicy::default());
+        let healthy = Engine::new(cfg).run_trace(vec![integrity_ops()], 1);
+
+        let mut e = Engine::new(cfg);
+        e.set_fault_schedule(
+            FaultSchedule::new().card_outage(ms(2), SimDuration::from_millis(3)),
+        );
+        let r = e.run_trace(vec![integrity_ops()], 1);
+        assert_eq!(r.ops, 100);
+        assert_eq!(r.verify_failures, 0);
+        let res = r.resilience.unwrap();
+        assert_eq!(res.fpga_failovers, 1, "{res:?}");
+        assert!(res.degraded_path_ops > 0, "ops must flow during the outage: {res:?}");
+        assert!(res.recovery_time_us >= 3_000.0, "{res:?}");
+        assert!(
+            r.mean_latency_us > healthy.mean_latency_us,
+            "software path is slower: {} vs {}",
+            r.mean_latency_us,
+            healthy.mean_latency_us
+        );
+        assert!(
+            e.card_mut().expect("HW config").is_healthy(),
+            "card recovered by end of run"
+        );
+    }
+
+    #[test]
+    fn exhausted_retry_budget_counts_against_availability() {
+        // Permanent blackout, minimal retry budget: every op burns its
+        // retries and is abandoned — availability reflects it.
+        let policy = ResiliencePolicy { max_retries: 1, ..Default::default() };
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication)
+            .with_resilience(policy);
+        let mut e = Engine::new(cfg);
+        e.set_fault_schedule(FaultSchedule::new().link_degrade(
+            SimTime::ZERO,
+            LinkFaultProfile { drop_p: 1.0, corrupt_p: 0.0 },
+        ));
+        let mut ops = Vec::new();
+        for i in 0..20u64 {
+            ops.push(TraceOp::write(i * 4096, 4096, false));
+        }
+        let r = e.run_trace(vec![ops], 1);
+        let res = r.resilience.unwrap();
+        assert_eq!(res.exhausted, 20, "{res:?}");
+        assert_eq!(res.retries, 20, "{res:?}");
+        assert_eq!(r.degraded_ops, 20);
+        assert_eq!(res.availability(r.ops), 0.0);
+        assert_eq!(r.verify_failures, 0, "failed writes never poison the checksum map");
+    }
+
+    #[test]
+    fn chaos_runs_replay_bit_identically() {
+        let chaos_report = || {
+            let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::ErasureCoding)
+                .with_resilience(ResiliencePolicy::default());
+            let mut e = Engine::new(cfg);
+            e.set_fault_schedule(
+                FaultSchedule::new()
+                    .osd_flap(ms(1), 3, SimDuration::from_millis(2))
+                    .link_degrade(ms(2), LinkFaultProfile { drop_p: 0.1, corrupt_p: 0.05 })
+                    .link_restore(ms(6))
+                    .dma_degrade(
+                        ms(3),
+                        DmaFaultProfile { h2c_error_p: 0.05, c2h_error_p: 0.05, exhaust_p: 0.1 },
+                    )
+                    .dma_restore(ms(7))
+                    .card_outage(ms(8), SimDuration::from_millis(2))
+                    .dfx_swap(ms(4), RmId::Tree),
+            );
+            e.run_trace(vec![integrity_ops()], 2)
+        };
+        let a = chaos_report();
+        let b = chaos_report();
+        assert_eq!(a, b, "same seed + same schedule must replay bit-identically");
+        assert!(a.resilience.unwrap().retries > 0, "the schedule must actually bite");
     }
 }

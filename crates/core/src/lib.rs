@@ -31,7 +31,7 @@ pub mod hostpath;
 pub mod report;
 pub mod uifd;
 
-pub use engine::{Engine, EngineConfig, FioSpec, Mode, Pattern, RwMode, IMAGE_BYTES};
+pub use engine::{Engine, EngineConfig, FioSpec, Mode, Pattern, RwMode, TraceOp, IMAGE_BYTES};
 pub use generation::Generation;
-pub use report::{PerfCounters, RunReport, StageBreakdown, StageSpanReport};
+pub use report::{PerfCounters, ResilienceCounters, RunReport, StageBreakdown, StageSpanReport};
 pub use uifd::Uifd;

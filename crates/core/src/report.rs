@@ -1,7 +1,7 @@
 //! Serializable run reports — the rows of every figure and table.
 
 use deliba_sim::{Counter, Histogram, SimDuration, Stage, StageTracer};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// One stage's row of a latency breakdown.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -110,8 +110,65 @@ impl PerfCounters {
     }
 }
 
+/// Resilience counters: what the fault plane injected and how the
+/// engine's retry/timeout/failover policy answered.  Attached to
+/// [`RunReport`] only when a fault schedule or a resilience policy is
+/// active, so baseline report JSON is unchanged byte for byte.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize, PartialEq)]
+pub struct ResilienceCounters {
+    /// Attempts re-issued after a failed attempt.
+    pub retries: u64,
+    /// Deadline expiries: silent failures detected by timeout, plus
+    /// completed ops that overran their deadline.
+    pub timeouts: u64,
+    /// Ops that failed at least once and then completed on a retry
+    /// (re-placed through the epoch-bumped CRUSH path when the failure
+    /// was an OSD death).
+    pub failovers: u64,
+    /// Ops abandoned after exhausting the retry budget.
+    pub exhausted: u64,
+    /// Reads served degraded (fewer than `width` healthy positions).
+    pub degraded_reads: u64,
+    /// FPGA→software path switches (card faults while the config wanted
+    /// the hardware path).
+    pub fpga_failovers: u64,
+    /// Ops routed over the software host path while the card was down.
+    pub degraded_path_ops: u64,
+    /// OSDs crashed by the schedule.
+    pub osd_crashes: u64,
+    /// Mid-flight DFX swaps started by the schedule.
+    pub dfx_swaps: u64,
+    /// Request frames dropped by the link injector.
+    pub dropped_frames: u64,
+    /// Response frames corrupted by the link injector.
+    pub corrupt_frames: u64,
+    /// H2C + C2H DMA completion errors.
+    pub dma_errors: u64,
+    /// Descriptor-exhaustion stalls (latency, not failures).
+    pub dma_stalls: u64,
+    /// Cumulative card-fault → card-recover spans, µs.
+    pub recovery_time_us: f64,
+}
+
+impl ResilienceCounters {
+    /// Fraction of ops that completed (possibly after retries) rather
+    /// than being abandoned, in [0, 1].
+    pub fn availability(&self, ops: u64) -> f64 {
+        if ops == 0 {
+            1.0
+        } else {
+            1.0 - self.exhausted as f64 / ops as f64
+        }
+    }
+}
+
 /// The outcome of one engine run (one bar in one figure).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+///
+/// `Serialize`/`Deserialize` are hand-written (mirroring exactly what
+/// the derive generates for the other fields) so the `resilience` key
+/// is emitted only when present: baseline runs must serialize
+/// byte-identically to reports that predate the fault plane.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Configuration label, e.g. `"DeLiBA-K (HW, replication)"`.
     pub config: String,
@@ -138,6 +195,55 @@ pub struct RunReport {
     pub breakdown: Option<StageBreakdown>,
     /// Engine hot-path counters (present on engine-produced reports).
     pub counters: Option<PerfCounters>,
+    /// Fault-plane / resilience counters (present only when a fault
+    /// schedule or resilience policy was active).
+    pub resilience: Option<ResilienceCounters>,
+}
+
+impl Serialize for RunReport {
+    fn serialize_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = vec![
+            ("config".to_string(), self.config.serialize_value()),
+            ("workload".to_string(), self.workload.serialize_value()),
+            ("mean_latency_us".to_string(), self.mean_latency_us.serialize_value()),
+            ("p99_latency_us".to_string(), self.p99_latency_us.serialize_value()),
+            ("throughput_mbps".to_string(), self.throughput_mbps.serialize_value()),
+            ("kiops".to_string(), self.kiops.serialize_value()),
+            ("ops".to_string(), self.ops.serialize_value()),
+            ("degraded_ops".to_string(), self.degraded_ops.serialize_value()),
+            ("verify_failures".to_string(), self.verify_failures.serialize_value()),
+            ("window_s".to_string(), self.window_s.serialize_value()),
+            ("breakdown".to_string(), self.breakdown.serialize_value()),
+            ("counters".to_string(), self.counters.serialize_value()),
+        ];
+        // Key omitted — not `null` — when absent, so pre-fault-plane
+        // report JSON round-trips and diffs byte-identically.
+        if self.resilience.is_some() {
+            fields.push(("resilience".to_string(), self.resilience.serialize_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for RunReport {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let field = |name: &str| value.get(name).unwrap_or(&Value::Null);
+        Ok(RunReport {
+            config: Deserialize::deserialize_value(field("config"))?,
+            workload: Deserialize::deserialize_value(field("workload"))?,
+            mean_latency_us: Deserialize::deserialize_value(field("mean_latency_us"))?,
+            p99_latency_us: Deserialize::deserialize_value(field("p99_latency_us"))?,
+            throughput_mbps: Deserialize::deserialize_value(field("throughput_mbps"))?,
+            kiops: Deserialize::deserialize_value(field("kiops"))?,
+            ops: Deserialize::deserialize_value(field("ops"))?,
+            degraded_ops: Deserialize::deserialize_value(field("degraded_ops"))?,
+            verify_failures: Deserialize::deserialize_value(field("verify_failures"))?,
+            window_s: Deserialize::deserialize_value(field("window_s"))?,
+            breakdown: Deserialize::deserialize_value(field("breakdown"))?,
+            counters: Deserialize::deserialize_value(field("counters"))?,
+            resilience: Deserialize::deserialize_value(field("resilience"))?,
+        })
+    }
 }
 
 impl RunReport {
@@ -164,6 +270,7 @@ impl RunReport {
             window_s: window.as_secs_f64(),
             breakdown: None,
             counters: None,
+            resilience: None,
         }
     }
 
@@ -214,6 +321,59 @@ mod tests {
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
         assert!(r.row().contains("rand-read 4k"));
+    }
+
+    fn sample_report() -> RunReport {
+        let mut hist = Histogram::new();
+        let mut counter = Counter::new();
+        for _ in 0..10 {
+            hist.record(SimDuration::from_micros(64));
+            counter.record(4096);
+        }
+        RunReport::new(
+            "cfg".into(),
+            "wl".into(),
+            &hist,
+            &counter,
+            SimDuration::from_secs(1),
+            0,
+            0,
+        )
+    }
+
+    #[test]
+    fn resilience_key_omitted_when_absent_and_round_trips_when_present() {
+        let r = sample_report();
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(
+            !json.contains("resilience"),
+            "absent resilience must not appear in baseline JSON: {json}"
+        );
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+
+        let mut with = sample_report();
+        with.resilience = Some(ResilienceCounters {
+            retries: 7,
+            timeouts: 2,
+            failovers: 5,
+            recovery_time_us: 1234.5,
+            ..Default::default()
+        });
+        let json = serde_json::to_string(&with).unwrap();
+        assert!(json.contains("\"resilience\""));
+        assert!(json.contains("\"retries\""));
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, with);
+    }
+
+    #[test]
+    fn availability_floor_math() {
+        let mut c = ResilienceCounters::default();
+        assert_eq!(c.availability(0), 1.0);
+        assert_eq!(c.availability(1000), 1.0);
+        c.exhausted = 5;
+        assert!((c.availability(1000) - 0.995).abs() < 1e-12);
     }
 
     #[test]

@@ -27,6 +27,12 @@ pub struct AlveoU280 {
     pub power: PowerModel,
     dfx_fallbacks: u64,
     accel_busy: SimDuration,
+    /// Card health: false while a card-level fault (XRT reset, AXI
+    /// firewall trip, thermal shutdown) is in effect.  The datapath
+    /// checks this before routing I/O through the card and degrades to
+    /// the software host path while it is down.
+    healthy: bool,
+    faults_injected: u64,
 }
 
 impl AlveoU280 {
@@ -53,6 +59,8 @@ impl AlveoU280 {
             power: PowerModel::default(),
             dfx_fallbacks: 0,
             accel_busy: SimDuration::ZERO,
+            healthy: true,
+            faults_injected: 0,
         }
     }
 
@@ -162,6 +170,31 @@ impl AlveoU280 {
     /// Begin a DFX swap.
     pub fn reconfigure(&mut self, now: SimTime, target: RmId) -> Result<SimTime, DfxError> {
         self.dfx.reconfigure(now, target)
+    }
+
+    /// Inject a card-level fault (the accelerator-fault case of the
+    /// fault plane): the card stops serving until [`clear_fault`]
+    /// (AlveoU280::clear_fault) — an `xbutil reset` in the real system.
+    pub fn inject_fault(&mut self) {
+        if self.healthy {
+            self.healthy = false;
+            self.faults_injected += 1;
+        }
+    }
+
+    /// Recover the card after a fault.
+    pub fn clear_fault(&mut self) {
+        self.healthy = true;
+    }
+
+    /// Is the card currently serving?
+    pub fn is_healthy(&self) -> bool {
+        self.healthy
+    }
+
+    /// Card-level faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
     }
 
     /// Placements that fell back to Straw2 because the partition was
@@ -352,6 +385,21 @@ mod tests {
         card.reconfigure(SimTime::ZERO, RmId::Tree).unwrap();
         let report = card.status_report(SimTime::from_nanos(10));
         assert!(report.contains("reconfiguring → Tree"), "{report}");
+    }
+
+    #[test]
+    fn card_fault_and_recovery_cycle() {
+        let mut card = AlveoU280::deliba_k_default();
+        assert!(card.is_healthy());
+        card.inject_fault();
+        assert!(!card.is_healthy());
+        // Re-injecting while down is not a second fault.
+        card.inject_fault();
+        assert_eq!(card.faults_injected(), 1);
+        card.clear_fault();
+        assert!(card.is_healthy());
+        card.inject_fault();
+        assert_eq!(card.faults_injected(), 2);
     }
 
     #[test]

@@ -22,14 +22,18 @@
 //!   CPU cost;
 //! * [`link`] — a serializing 10 GbE pipe with propagation delay and
 //!   frame-overhead-aware goodput;
+//! * [`fault`] — deterministic frame drop/corruption injection for the
+//!   chaos fault plane;
 //! * [`topology`] — the client ↔ servers star used by the cluster
 //!   substrate.
 
+pub mod fault;
 pub mod frame;
 pub mod link;
 pub mod tcp;
 pub mod topology;
 
+pub use fault::{LinkFaultInjector, LinkFaultProfile, LinkVerdict};
 pub use frame::{FrameConfig, JUMBO_MTU_FRAME, STANDARD_MTU_FRAME};
 pub use link::EthLink;
 pub use tcp::{TcpStack, TcpStackKind};

@@ -30,6 +30,7 @@
 pub mod cmac;
 pub mod descriptor;
 pub mod engine;
+pub mod fault;
 pub mod function;
 pub mod mem;
 pub mod pcie;
@@ -38,6 +39,7 @@ pub mod ring;
 
 pub use descriptor::{DescControl, Descriptor, IfType, DESCRIPTOR_BYTES};
 pub use engine::{DescriptorEngine, EngineConfig};
+pub use fault::{DmaFaultInjector, DmaFaultProfile, DESCRIPTOR_STALL};
 pub use function::{FunctionId, FunctionKind, FunctionMap};
 pub use mem::SparseMemory;
 pub use pcie::PciePipes;

@@ -11,6 +11,7 @@ pub use deliba_cluster as cluster;
 pub use deliba_core as core;
 pub use deliba_crush as crush;
 pub use deliba_ec as ec;
+pub use deliba_fault as fault;
 pub use deliba_fpga as fpga;
 pub use deliba_net as net;
 pub use deliba_qdma as qdma;
