@@ -3,18 +3,28 @@
 //!
 //! ```text
 //! harness [experiment ...] [--json] [--out <path>] [--serial]
+//! harness trace [--trace-depth <off|spans|full>] [--out <dir>]
 //!
 //! experiments: fig3 fig4 fig6 fig7 fig8 fig9
 //!              table1 table2 table3 power realworld headline dfx
 //!              ablation mtu breakdown
 //!              perf (wall-clock gate; never part of `all`)
 //!              chaos (fault-plane soak; never part of `all`)
+//!              trace (flight-recorder export; never part of `all`)
 //!              all (default)
 //!
 //! --json         emit the results as JSON instead of text tables
 //! --out <path>   write the JSON to <path> (implies --json)
 //! --serial       run every sweep on one thread (also: DELIBA_JOBS=n)
+//! --trace-depth  recorder depth for `trace` (default: full; also the
+//!                DELIBA_TRACE env var — the flag wins)
 //! ```
+//!
+//! `trace` runs alone (it is a file-emitting export, not a figure): it
+//! writes `trace-<cell>.trace.json` (Chrome trace-event JSON — load in
+//! Perfetto or `chrome://tracing`) and `trace-<cell>.prom` (Prometheus
+//! text exposition) per cell into the `--out` directory (default `.`)
+//! and prints each cell's worst-K tail-latency attribution table.
 //!
 //! Sweeps run cells on `DELIBA_JOBS` worker threads (default: all
 //! cores); output is byte-identical to a serial run either way.
@@ -34,13 +44,54 @@ const ALL: &[&str] = &[
 const KNOWN: &[&str] = &[
     "all", "table1", "table2", "table3", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
     "power", "realworld", "headline", "dfx", "ablation", "mtu", "breakdown", "perf",
-    "chaos",
+    "chaos", "trace",
 ];
 
 fn usage() -> ! {
     eprintln!("usage: harness [experiment ...] [--json] [--out <path>] [--serial]");
+    eprintln!("       harness trace [--trace-depth <off|spans|full>] [--out <dir>]");
     eprintln!("experiments: {}", KNOWN.join(" "));
     std::process::exit(2);
+}
+
+/// The `trace` subcommand: run the flight-recorder cells and write each
+/// one's Chrome trace + Prometheus dump into `out_dir`.
+fn run_trace(depth_flag: Option<String>, out_dir: Option<String>) {
+    let depth_str = depth_flag
+        .or_else(|| std::env::var("DELIBA_TRACE").ok())
+        .unwrap_or_else(|| "full".into());
+    let Some(depth) = deliba_sim::TraceDepth::parse(&depth_str) else {
+        eprintln!("bad trace depth: {depth_str} (use off, spans or full)");
+        std::process::exit(2);
+    };
+    if !depth.is_on() {
+        eprintln!("trace depth is off — nothing to record (use --trace-depth spans|full)");
+        std::process::exit(2);
+    }
+    let dir = std::path::PathBuf::from(out_dir.unwrap_or_else(|| ".".into()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    println!("== trace — flight-recorder export (depth {})", depth.label());
+    for cell in run_trace_cells(depth) {
+        let chrome_path = dir.join(format!("trace-{}.trace.json", cell.name));
+        let prom_path = dir.join(format!("trace-{}.prom", cell.name));
+        for (path, body) in [(&chrome_path, &cell.chrome), (&prom_path, &cell.prom)] {
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        println!(
+            "  {} → {} ({} events) + {}",
+            cell.name,
+            chrome_path.display(),
+            cell.stats.held,
+            prom_path.display()
+        );
+        print!("{}", worst_k_table(&cell));
+    }
 }
 
 fn main() {
@@ -48,6 +99,7 @@ fn main() {
     let mut json = false;
     let mut serial = false;
     let mut out: Option<String> = None;
+    let mut trace_depth: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -61,6 +113,13 @@ fn main() {
                 }
                 None => {
                     eprintln!("--out requires a path");
+                    usage();
+                }
+            },
+            "--trace-depth" => match it.next() {
+                Some(d) => trace_depth = Some(d),
+                None => {
+                    eprintln!("--trace-depth requires off, spans or full");
                     usage();
                 }
             },
@@ -98,6 +157,21 @@ fn main() {
     }
     let mut seen = std::collections::BTreeSet::new();
     expanded.retain(|w| seen.insert(w.clone()));
+
+    // `trace` is a file-emitting export with its own flags (`--out` is a
+    // directory, not a JSON path), so it must run alone.
+    if expanded.iter().any(|w| w == "trace") {
+        if expanded.len() != 1 {
+            eprintln!("`trace` runs alone (its --out is a directory, not a JSON path)");
+            usage();
+        }
+        run_trace(trace_depth, out);
+        return;
+    }
+    if trace_depth.is_some() {
+        eprintln!("--trace-depth only applies to the `trace` experiment");
+        usage();
+    }
 
     runner::set_serial(serial);
 

@@ -875,6 +875,32 @@ pub fn perf() -> Experiment {
     let fused_share = counters.fused_events as f64 / counters.events.max(1) as f64;
     let events_per_io = counters.events as f64 / r.ops.max(1) as f64;
 
+    // Flight-recorder cost: the same reference workload with the
+    // recorder disabled (the default — every emit is one branch on a
+    // `None`) and recording at full depth.  Best of 3 each, so a single
+    // scheduler hiccup cannot fake a regression; the disabled-path cell
+    // is compared against the engine reference cell above (identical
+    // configuration) and CI holds that overhead under 1 %.
+    use deliba_sim::TraceDepth;
+    let recorder_evps = |depth: TraceDepth| -> f64 {
+        (0..3)
+            .map(|_| {
+                let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication)
+                    .with_trace_depth(depth);
+                let mut e = Engine::new(cfg);
+                let t0 = Instant::now();
+                let r = e.run_fio(&spec);
+                let wall = t0.elapsed().as_secs_f64();
+                assert_eq!(r.verify_failures, 0);
+                e.events_executed() as f64 / wall.max(1e-9)
+            })
+            .fold(0.0, f64::max)
+    };
+    let untraced_evps = recorder_evps(TraceDepth::Off);
+    let traced_evps = recorder_evps(TraceDepth::Full);
+    let disabled_overhead = (1.0 - untraced_evps / engine_evps.max(1e-9)).max(0.0);
+    let recording_overhead = (1.0 - traced_evps / untraced_evps.max(1e-9)).max(0.0);
+
     // Pure queue churn: steady-state schedule/pop with pseudo-random
     // deltas — the simulator hot loop with the engine stripped away.
     const CHURN: u64 = 1_000_000;
@@ -959,6 +985,34 @@ pub fn perf() -> Experiment {
                 workload: "schedule/pop churn".into(),
                 unit: "ev/s",
                 measured: queue_evps,
+                paper: None,
+            },
+            Cell {
+                config: "flight recorder".into(),
+                workload: "untraced events per second".into(),
+                unit: "ev/s",
+                measured: untraced_evps,
+                paper: None,
+            },
+            Cell {
+                config: "flight recorder".into(),
+                workload: "traced events per second".into(),
+                unit: "ev/s",
+                measured: traced_evps,
+                paper: None,
+            },
+            Cell {
+                config: "flight recorder".into(),
+                workload: "disabled-path overhead".into(),
+                unit: "frac",
+                measured: disabled_overhead,
+                paper: None,
+            },
+            Cell {
+                config: "flight recorder".into(),
+                workload: "recording overhead".into(),
+                unit: "frac",
+                measured: recording_overhead,
                 paper: None,
             },
         ],

@@ -9,5 +9,7 @@
 
 pub mod experiments;
 pub mod runner;
+pub mod trace;
 
 pub use experiments::*;
+pub use trace::{run_trace_cells, worst_k_table, TraceCell, WORST_K};

@@ -24,7 +24,7 @@ use deliba_crush::rule::Rule;
 use deliba_crush::{MapBuilder, RuleStep};
 use deliba_ec::ReedSolomon;
 use deliba_net::{FrameConfig, Topology};
-use deliba_sim::{SimDuration, SimTime, Xoshiro256};
+use deliba_sim::{InstantKind, SimDuration, SimTime, TraceHandle, TraceLayer, Xoshiro256};
 use std::collections::BTreeMap;
 
 /// Cross-server commit-ack latency (tiny message, switch + stack).
@@ -112,6 +112,8 @@ pub struct Cluster {
     /// Recycled acting-set buffer: the data-path methods fill it via
     /// [`OsdMap::acting_set_into`] instead of allocating per I/O.
     acting_scratch: Vec<i32>,
+    /// Flight recorder (full-depth recording marks each OSD service).
+    trace: TraceHandle,
 }
 
 impl Cluster {
@@ -168,6 +170,28 @@ impl Cluster {
             replica_dir: BTreeMap::new(),
             shard_dir: BTreeMap::new(),
             acting_scratch: Vec::new(),
+            trace: TraceHandle::off(),
+        }
+    }
+
+    /// Attach a flight-recorder handle, shared with the topology below
+    /// (full-depth recording marks each OSD service and link departure;
+    /// the lane is the OSD / destination-port id).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.topology.set_trace(trace.clone());
+        self.trace = trace;
+    }
+
+    /// Mark one OSD servicing an op (full depth only; no-op otherwise).
+    fn trace_osd_service(&self, at: SimTime, osd: i32, bytes: u64) {
+        if self.trace.full() {
+            self.trace.instant_lane(
+                at,
+                TraceLayer::Cluster,
+                osd as u32,
+                InstantKind::OsdService,
+                bytes,
+            );
         }
     }
 
@@ -483,6 +507,7 @@ impl Cluster {
         let p_fin = self.osds[primary as usize]
             .write_object_at(at_primary, oid, offset, data, random)
             .expect("primary is healthy");
+        self.trace_osd_service(p_fin, primary, data.len() as u64);
         let mut commit = p_fin;
         for &rep in healthy.iter().skip(1) {
             let r_server = self.server_of(rep);
@@ -498,6 +523,7 @@ impl Cluster {
             let r_fin = self.osds[rep as usize]
                 .write_object_at(arrive, oid, offset, data, random)
                 .expect("replica is healthy");
+            self.trace_osd_service(r_fin, rep, data.len() as u64);
             let ack = if r_server == p_server {
                 r_fin + ACK_SAME_SERVER
             } else {
@@ -583,6 +609,7 @@ impl Cluster {
             let fin = self.osds[osd as usize]
                 .read_object_at_into(at_osd, oid, offset, len, random, out)
                 .expect("checked up");
+            self.trace_osd_service(fin, osd, len as u64);
             let done = self.topology.server_to_client(fin, server, len as u64);
             outcome = Some(IoOutcome {
                 complete: done,
@@ -651,6 +678,7 @@ impl Cluster {
             let fin = self.osds[osd as usize]
                 .read_object_at_into(at_osd, oid, 0, shard_len, random, out)
                 .expect("checked up");
+            self.trace_osd_service(fin, osd, shard_len as u64);
             let done = self
                 .topology
                 .server_to_client(fin, server, shard_len as u64);
@@ -716,9 +744,11 @@ impl Cluster {
             let arrive = self
                 .topology
                 .client_to_server(now, server, shard.len() as u64);
+            let shard_bytes = shard.len() as u64;
             let fin = self.osds[osd as usize]
                 .write_object(arrive, oid, Bytes::from(shard), random)
                 .expect("checked up");
+            self.trace_osd_service(fin, osd, shard_bytes);
             let ack = self.topology.server_to_client(fin, server, CONTROL_BYTES);
             commit = commit.max(ack);
             last_arrive = last_arrive.max(arrive);
@@ -794,6 +824,7 @@ impl Cluster {
             let fin = self.osds[osd as usize]
                 .read_object_at_into(at_osd, oid, 0, shard_len, random, &mut data)
                 .expect("checked up");
+            self.trace_osd_service(fin, osd, data.len() as u64);
             let done = self
                 .topology
                 .server_to_client(fin, server, data.len() as u64);

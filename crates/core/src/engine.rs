@@ -27,8 +27,8 @@ use deliba_fpga::{AlveoU280, RmId};
 use deliba_net::{LinkVerdict, TcpStack};
 use deliba_qdma::PciePipes;
 use deliba_sim::{
-    Counter, EventQueue, Histogram, Server, SimDuration, SimRng, SimTime, Stage, StageTracer,
-    Xoshiro256,
+    Counter, EventQueue, Histogram, InstantKind, Server, SimDuration, SimRng, SimTime, Stage,
+    StageTracer, TraceDepth, TraceHandle, TraceLayer, Xoshiro256,
 };
 use std::collections::BTreeMap;
 
@@ -191,6 +191,13 @@ pub struct EngineConfig {
     /// default) fails fast exactly as before — no retries, no deadline
     /// accounting, and `RunReport` carries no resilience block.
     pub resilience: Option<ResiliencePolicy>,
+    /// Flight-recorder depth (`Off` by default).  When on, a bounded
+    /// `TraceSink` ring records per-I/O span chains and fault/retry
+    /// instants (and, at `Full`, per-layer events and counter samples)
+    /// — and the stage tracer is allocated too, since the span walk
+    /// shares its decomposition.  Recording draws no randomness and
+    /// advances no timeline, so it never perturbs results.
+    pub trace_depth: TraceDepth,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -207,6 +214,7 @@ impl EngineConfig {
             jumbo_frames: false,
             trace_stages: false,
             resilience: None,
+            trace_depth: TraceDepth::Off,
             seed: 42,
         }
     }
@@ -214,6 +222,12 @@ impl EngineConfig {
     /// Enable per-I/O stage tracing.
     pub fn with_tracing(mut self) -> Self {
         self.trace_stages = true;
+        self
+    }
+
+    /// Enable the flight recorder at `depth`.
+    pub fn with_trace_depth(mut self, depth: TraceDepth) -> Self {
+        self.trace_depth = depth;
         self
     }
 
@@ -258,11 +272,21 @@ enum IoDisposition {
 }
 
 /// Event-queue token: a free queue-depth slot pulling the next trace op,
-/// or a backed-off attempt returning for its retry.
+/// or a backed-off attempt returning for its retry.  `lane` is the
+/// global queue-depth slot index (`job * iodepth + k`) — the flight
+/// recorder's tid — and `io` the recorder's I/O id; both ride the token
+/// so a retry resumes the identity it was issued under.
 #[derive(Clone, Copy)]
 enum Token {
-    Slot(u32),
-    Retry { job: u32, op: TraceOp, attempt: u32, first_start: SimTime },
+    Slot { job: u32, lane: u32 },
+    Retry {
+        job: u32,
+        lane: u32,
+        io: u64,
+        op: TraceOp,
+        attempt: u32,
+        first_start: SimTime,
+    },
 }
 
 /// The end-to-end engine.
@@ -305,6 +329,9 @@ pub struct Engine {
     fpga_down: bool,
     /// When the outstanding card fault began (time-to-recover basis).
     card_fault_at: Option<SimTime>,
+    /// The flight recorder (disabled handle unless `cfg.trace_depth` is
+    /// on; every layer below holds a clone of the same sink).
+    trace: TraceHandle,
 }
 
 impl Engine {
@@ -315,11 +342,19 @@ impl Engine {
         } else {
             deliba_net::FrameConfig::standard()
         };
-        let cluster = Cluster::paper_testbed_with_frames(cfg.seed, frames);
-        let card = cfg.fpga.then(AlveoU280::deliba_k_default);
+        let trace = TraceHandle::recording(cfg.trace_depth, deliba_sim::trace::RING_CAPACITY);
+        let mut cluster = Cluster::paper_testbed_with_frames(cfg.seed, frames);
+        cluster.set_trace(trace.clone());
+        let card = cfg.fpga.then(|| {
+            let mut card = AlveoU280::deliba_k_default();
+            card.set_trace(trace.clone());
+            card
+        });
         let contexts = (0..cfg.features.contexts.max(1))
             .map(|_| Server::new())
             .collect();
+        let mut pcie = PciePipes::new(calib::PCIE_GBYTES_PER_SEC);
+        pcie.set_trace(trace.clone());
         let pool = match cfg.mode {
             Mode::Replication => 1,
             Mode::ErasureCoding => 2,
@@ -329,13 +364,15 @@ impl Engine {
             cluster,
             card,
             contexts,
-            pcie: PciePipes::new(calib::PCIE_GBYTES_PER_SEC),
+            pcie,
             image: RbdImage::new(pool, 0xD3B5, IMAGE_BYTES),
             rng: Xoshiro256::seed_from_u64(cfg.seed ^ 0xFEED),
             written: BTreeMap::new(),
             verify_failures: 0,
             degraded_ops: 0,
-            tracer: cfg.trace_stages.then(StageTracer::new),
+            // The recorder's span walk reuses the stage decomposition,
+            // so enabling it allocates the tracer too.
+            tracer: (cfg.trace_stages || cfg.trace_depth.is_on()).then(StageTracer::new),
             scratch: Vec::new(),
             read_buf: Vec::new(),
             place_buf: Vec::new(),
@@ -345,7 +382,14 @@ impl Engine {
             res: ResilienceCounters::default(),
             fpga_down: false,
             card_fault_at: None,
+            trace,
         }
+    }
+
+    /// The flight recorder handle (disabled unless the config asked for
+    /// a trace depth) — the exporters hang off this.
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// Arm the fault plane with a timed schedule.  Injector streams are
@@ -492,15 +536,60 @@ impl Engine {
                     // post-failure CRUSH walk.
                     self.cluster.fail_osd(osd);
                     self.res.osd_crashes += 1;
+                    self.trace.instant_lane(
+                        now,
+                        TraceLayer::Fault,
+                        osd as u32,
+                        InstantKind::OsdCrash,
+                        osd as u64,
+                    );
+                    self.trace.instant_lane(
+                        now,
+                        TraceLayer::Fault,
+                        osd as u32,
+                        InstantKind::CacheInvalidation,
+                        self.cluster.map().epoch,
+                    );
                 }
-                FaultKind::OsdRevive { osd } => self.cluster.revive_osd(osd),
+                FaultKind::OsdRevive { osd } => {
+                    self.cluster.revive_osd(osd);
+                    self.trace.instant_lane(
+                        now,
+                        TraceLayer::Fault,
+                        osd as u32,
+                        InstantKind::OsdRevive,
+                        osd as u64,
+                    );
+                    self.trace.instant_lane(
+                        now,
+                        TraceLayer::Fault,
+                        osd as u32,
+                        InstantKind::CacheInvalidation,
+                        self.cluster.map().epoch,
+                    );
+                }
                 // Profile windows are time-indexed, not cursor-driven:
                 // each attempt syncs the injector to the profile in force
                 // at its own instant (`FaultPlane::sync_link/sync_dma`),
                 // so a backed-off retry crossing a restore boundary sees
                 // the healthy link without dragging the whole plane
                 // forward past windows other in-flight ops still occupy.
-                FaultKind::LinkDegrade(_) | FaultKind::DmaDegrade(_) => {}
+                FaultKind::LinkDegrade(p) => {
+                    let ik = if p.is_healthy() {
+                        InstantKind::LinkRestore
+                    } else {
+                        InstantKind::LinkDegrade
+                    };
+                    self.trace.instant_lane(now, TraceLayer::Fault, 0, ik, 0);
+                }
+                FaultKind::DmaDegrade(p) => {
+                    let ik = if p.is_healthy() {
+                        InstantKind::DmaRestore
+                    } else {
+                        InstantKind::DmaDegrade
+                    };
+                    self.trace.instant_lane(now, TraceLayer::Fault, 0, ik, 0);
+                }
                 FaultKind::CardFault => {
                     if let Some(card) = self.card.as_mut() {
                         card.inject_fault();
@@ -510,6 +599,8 @@ impl Engine {
                         self.card_fault_at = Some(now);
                         self.res.fpga_failovers += 1;
                     }
+                    self.trace
+                        .instant_lane(now, TraceLayer::Fault, 0, InstantKind::CardFault, 0);
                 }
                 FaultKind::CardRecover => {
                     if let Some(card) = self.card.as_mut() {
@@ -520,6 +611,8 @@ impl Engine {
                         self.res.recovery_time_us +=
                             now.saturating_since(t0).as_nanos() as f64 / 1_000.0;
                     }
+                    self.trace
+                        .instant_lane(now, TraceLayer::Fault, 0, InstantKind::CardRecover, 0);
                 }
                 FaultKind::DfxSwap { target } => {
                     if let Some(card) = self.card.as_mut() {
@@ -559,9 +652,21 @@ impl Engine {
                         // The op made it, but past its deadline — the
                         // requester above us already gave up on it.
                         self.res.timeouts += 1;
+                        self.trace.instant(
+                            complete,
+                            TraceLayer::Engine,
+                            InstantKind::Timeout,
+                            complete.saturating_since(start).as_nanos(),
+                        );
                     }
                     if attempt > 0 {
                         self.res.failovers += 1;
+                        self.trace.instant(
+                            complete,
+                            TraceLayer::Engine,
+                            InstantKind::Failover,
+                            attempt as u64,
+                        );
                     }
                 }
                 IoDisposition::Done { start, complete }
@@ -583,6 +688,8 @@ impl Engine {
                 // arrive with the failure itself.
                 let detected = if cause.is_silent() {
                     self.res.timeouts += 1;
+                    self.trace
+                        .instant(ready + p.deadline, TraceLayer::Engine, InstantKind::Timeout, 0);
                     ready + p.deadline
                 } else {
                     at
@@ -590,10 +697,22 @@ impl Engine {
                 if attempt >= p.max_retries {
                     self.res.exhausted += 1;
                     self.degraded_ops += 1;
+                    self.trace.instant(
+                        detected,
+                        TraceLayer::Engine,
+                        InstantKind::RetryExhausted,
+                        attempt as u64,
+                    );
                     return IoDisposition::Done { start, complete: detected };
                 }
                 let unit = self.faults.as_mut().map_or(0.0, |pl| pl.jitter_unit());
                 self.res.retries += 1;
+                self.trace.instant(
+                    detected,
+                    TraceLayer::Engine,
+                    InstantKind::Retry,
+                    (attempt + 1) as u64,
+                );
                 IoDisposition::Retry {
                     at: detected + p.backoff(attempt, unit),
                     attempt: attempt + 1,
@@ -651,6 +770,8 @@ impl Engine {
                 .as_mut()
                 .and_then(|p| if p.sync_dma(t) { p.dma.assess_fetch() } else { None })
             {
+                self.trace
+                    .instant(t, TraceLayer::Qdma, InstantKind::DmaStall, stall.as_nanos());
                 t += stall;
             }
             let pre_h2c = t;
@@ -662,6 +783,7 @@ impl Engine {
                 if let Some(buf) = payload {
                     self.scratch = buf;
                 }
+                self.trace.instant(t, TraceLayer::Qdma, InstantKind::DmaError, 0);
                 return AttemptResult::Fail { start, at: t, cause: FailCause::DmaH2c };
             }
             // Placement kernel runs as data streams through the card:
@@ -736,6 +858,8 @@ impl Engine {
             if let Some(buf) = payload {
                 self.scratch = buf;
             }
+            self.trace
+                .instant(t, TraceLayer::Net, InstantKind::FrameDrop, bytes);
             return AttemptResult::Fail { start, at: t, cause: FailCause::LinkDrop };
         }
 
@@ -823,6 +947,8 @@ impl Engine {
             // many replicas/shards unavailable).  The retry path
             // re-places through the epoch-bumped CRUSH walk; without a
             // policy the caller charges the legacy timeout penalty.
+            self.trace
+                .instant(t, TraceLayer::Cluster, InstantKind::ClusterUnavailable, 0);
             return AttemptResult::Fail {
                 start,
                 at: t,
@@ -850,6 +976,8 @@ impl Engine {
             .as_mut()
             .is_some_and(|p| p.sync_link(complete) && p.link.assess_response() == LinkVerdict::Corrupt)
         {
+            self.trace
+                .instant(complete, TraceLayer::Net, InstantKind::FrameCorrupt, bytes);
             return AttemptResult::Fail {
                 start,
                 at: complete,
@@ -869,6 +997,8 @@ impl Engine {
                 .as_mut()
                 .is_some_and(|p| p.sync_dma(complete) && p.dma.assess_c2h())
             {
+                self.trace
+                    .instant(complete, TraceLayer::Qdma, InstantKind::DmaError, 1);
                 return AttemptResult::Fail {
                     start,
                     at: complete,
@@ -897,6 +1027,30 @@ impl Engine {
             tracer.record(Stage::QdmaC2H, span_c2h);
             tracer.record(Stage::Complete, costs.complete_latency);
             tracer.record_op();
+        }
+        // The flight recorder gets the same decomposition as a span
+        // chain: eleven begin/end pairs telescoping `start → complete`
+        // on this I/O's lane (zero-width spans included, so every chain
+        // has a uniform shape).  Retried ops emit only their final,
+        // successful attempt — failed attempts return above.
+        if self.trace.is_on() {
+            let p = &costs.parts;
+            self.trace.op_spans(
+                start,
+                &[
+                    (Stage::Submit, p.submit),
+                    (Stage::RingEnter, p.ring_enter),
+                    (Stage::BlkMq, p.blk_mq),
+                    (Stage::Uifd, p.uifd),
+                    (Stage::QdmaH2C, span_h2c),
+                    (Stage::Accel, p.accel + span_accel_card),
+                    (Stage::NetTx, p.net_tx + span_net_fpga + outcome.net_tx),
+                    (Stage::OsdService, outcome.osd_service),
+                    (Stage::NetRx, outcome.net_rx),
+                    (Stage::QdmaC2H, span_c2h),
+                    (Stage::Complete, costs.complete_latency),
+                ],
+            );
         }
 
         // --- Context occupancy -------------------------------------------
@@ -929,12 +1083,18 @@ impl Engine {
         for (j, ops) in jobs.iter().enumerate() {
             let tokens = (iodepth as usize).min(ops.len());
             for k in 0..tokens {
+                let lane = (j * iodepth as usize + k) as u32;
                 queue.schedule_at(
-                    SimTime::from_nanos(100 * (j * iodepth as usize + k) as u64),
-                    Token::Slot(j as u32),
+                    SimTime::from_nanos(100 * lane as u64),
+                    Token::Slot { job: j as u32, lane },
                 );
             }
         }
+        // Flight-recorder identities: lanes are the global queue-depth
+        // slots seeded above; I/O ids are issued in dispatch order.
+        let recording = self.trace.is_on();
+        let sample_counters = self.trace.full();
+        let mut io_seq: u64 = 0;
         let mut last_complete = SimTime::ZERO;
         let mut next = queue.pop();
         while let Some((ready, token)) = next {
@@ -942,8 +1102,8 @@ impl Engine {
             if self.faults.is_some() {
                 self.apply_due_faults(ready);
             }
-            let (ready, job, op, attempt, first_start) = match token {
-                Token::Slot(job) => {
+            let (ready, job, lane, io, op, attempt, first_start) = match token {
+                Token::Slot { job, lane } => {
                     let idx = cursors[job as usize];
                     if idx >= jobs[job as usize].len() {
                         next = queue.pop();
@@ -951,21 +1111,26 @@ impl Engine {
                     }
                     cursors[job as usize] += 1;
                     let op = jobs[job as usize][idx];
+                    let io = io_seq;
+                    io_seq += 1;
                     // Application compute between ops runs on the app's
                     // own core, off every modeled resource.
-                    (ready + SimDuration::from_nanos(op.think_ns), job, op, 0, None)
+                    (ready + SimDuration::from_nanos(op.think_ns), job, lane, io, op, 0, None)
                 }
-                Token::Retry { job, op, attempt, first_start } => {
-                    (ready, job, op, attempt, Some(first_start))
+                Token::Retry { job, lane, io, op, attempt, first_start } => {
+                    (ready, job, lane, io, op, attempt, Some(first_start))
                 }
             };
+            if recording {
+                self.trace.set_ctx(io, lane);
+            }
             let (start, complete) = match self.do_io(ready, job, op, attempt, first_start) {
                 IoDisposition::Done { start, complete } => (start, complete),
                 IoDisposition::Retry { at, attempt, first_start } => {
                     // The op waits out its backoff on the event queue —
                     // its queue-depth slot stays held, but no shared
                     // resource timeline advances on its behalf.
-                    queue.schedule_at(at, Token::Retry { job, op, attempt, first_start });
+                    queue.schedule_at(at, Token::Retry { job, lane, io, op, attempt, first_start });
                     next = queue.pop();
                     continue;
                 }
@@ -973,6 +1138,14 @@ impl Engine {
             hist.record(complete.saturating_since(start));
             counter.record(op.len as u64);
             last_complete = last_complete.max(complete);
+            if sample_counters {
+                // Pending tokens plus the slot in hand = ops in flight;
+                // sampled at each completion so the counter track shows
+                // the closed loop draining at the end of the run.
+                self.trace
+                    .counter(complete, "inflight_ops", queue.len() as u64 + 1);
+                self.trace.counter(complete, "queue_depth", queue.len() as u64);
+            }
             // Fused fast path: when the completion would be the very next
             // event popped anyway — strictly earlier than everything
             // pending (ties must round-trip through the heap so the
@@ -980,12 +1153,12 @@ impl Engine {
             // in place and skip the schedule/pop.
             match queue.peek_time() {
                 Some(head) if head <= complete => {
-                    queue.schedule_at(complete, Token::Slot(job));
+                    queue.schedule_at(complete, Token::Slot { job, lane });
                     next = queue.pop();
                 }
                 _ => {
                     self.fused += 1;
-                    next = Some((complete, Token::Slot(job)));
+                    next = Some((complete, Token::Slot { job, lane }));
                 }
             }
         }

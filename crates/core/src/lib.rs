@@ -22,16 +22,20 @@
 //!   (data actually flows through the descriptor engine);
 //! * [`engine`] — the closed-loop virtual-time engine;
 //! * [`report`] — serializable run reports consumed by the benchmark
-//!   harness.
+//!   harness;
+//! * [`prom`] — Prometheus text-exposition export of a run report and
+//!   the flight recorder's ring statistics.
 
 pub mod calib;
 pub mod engine;
 pub mod generation;
 pub mod hostpath;
+pub mod prom;
 pub mod report;
 pub mod uifd;
 
 pub use engine::{Engine, EngineConfig, FioSpec, Mode, Pattern, RwMode, TraceOp, IMAGE_BYTES};
 pub use generation::Generation;
+pub use prom::prometheus_dump;
 pub use report::{PerfCounters, ResilienceCounters, RunReport, StageBreakdown, StageSpanReport};
 pub use uifd::Uifd;

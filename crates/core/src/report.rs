@@ -4,14 +4,25 @@ use deliba_sim::{Counter, Histogram, SimDuration, Stage, StageTracer};
 use serde::{Deserialize, Error, Serialize, Value};
 
 /// One stage's row of a latency breakdown.
+///
+/// Fields are declared — and therefore serialized — in the stable key
+/// order `stage, mean_us, p50_us, p95_us, p99_us, p999_us, share_pct`;
+/// the quantile columns come from the histogram's interpolated
+/// [`Histogram::quantile`], so they resolve within one sub-bucket.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct StageSpanReport {
     /// Stage label (`Stage::label()` — stable JSON key).
     pub stage: String,
     /// Mean span over all traced ops (zeros included), µs.
     pub mean_us: f64,
+    /// Median span, µs (interpolated).
+    pub p50_us: f64,
+    /// 95th-percentile span, µs (interpolated).
+    pub p95_us: f64,
     /// 99th-percentile span, µs.
     pub p99_us: f64,
+    /// 99.9th-percentile span, µs (interpolated).
+    pub p999_us: f64,
     /// This stage's share of the end-to-end mean, percent.
     pub share_pct: f64,
 }
@@ -39,10 +50,15 @@ impl StageBreakdown {
             .iter()
             .map(|&s| {
                 let mean = tracer.mean_us(s);
+                let hist = tracer.histogram(s);
+                let q_us = |q: f64| hist.quantile(q) / 1_000.0;
                 StageSpanReport {
                     stage: s.label().to_string(),
                     mean_us: mean,
-                    p99_us: tracer.histogram(s).p99_us(),
+                    p50_us: q_us(0.5),
+                    p95_us: q_us(0.95),
+                    p99_us: q_us(0.99),
+                    p999_us: q_us(0.999),
                     share_pct: if sum > 0.0 { 100.0 * mean / sum } else { 0.0 },
                 }
             })
@@ -67,8 +83,8 @@ impl StageBreakdown {
         let mut out = String::new();
         for row in &self.stages {
             out.push_str(&format!(
-                "    {:<12} {:>9.2} µs  ({:>5.1} %)  p99 {:>9.2} µs\n",
-                row.stage, row.mean_us, row.share_pct, row.p99_us
+                "    {:<12} {:>9.2} µs  ({:>5.1} %)  p50 {:>9.2}  p95 {:>9.2}  p99 {:>9.2}  p99.9 {:>9.2} µs\n",
+                row.stage, row.mean_us, row.share_pct, row.p50_us, row.p95_us, row.p99_us, row.p999_us
             ));
         }
         out.push_str(&format!(
@@ -165,9 +181,10 @@ impl ResilienceCounters {
 /// The outcome of one engine run (one bar in one figure).
 ///
 /// `Serialize`/`Deserialize` are hand-written (mirroring exactly what
-/// the derive generates for the other fields) so the `resilience` key
-/// is emitted only when present: baseline runs must serialize
-/// byte-identically to reports that predate the fault plane.
+/// the derive generates for the other fields) so the optional sections
+/// (`breakdown`, `counters`, `resilience`) are emitted only when
+/// present: baseline runs must serialize byte-identically to reports
+/// that predate each feature.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Configuration label, e.g. `"DeLiBA-K (HW, replication)"`.
@@ -213,11 +230,16 @@ impl Serialize for RunReport {
             ("degraded_ops".to_string(), self.degraded_ops.serialize_value()),
             ("verify_failures".to_string(), self.verify_failures.serialize_value()),
             ("window_s".to_string(), self.window_s.serialize_value()),
-            ("breakdown".to_string(), self.breakdown.serialize_value()),
-            ("counters".to_string(), self.counters.serialize_value()),
         ];
-        // Key omitted — not `null` — when absent, so pre-fault-plane
-        // report JSON round-trips and diffs byte-identically.
+        // Optional sections are omitted — not `null` — when absent, so a
+        // baseline report serializes to exactly its pre-feature bytes and
+        // every optional key follows the one convention.
+        if self.breakdown.is_some() {
+            fields.push(("breakdown".to_string(), self.breakdown.serialize_value()));
+        }
+        if self.counters.is_some() {
+            fields.push(("counters".to_string(), self.counters.serialize_value()));
+        }
         if self.resilience.is_some() {
             fields.push(("resilience".to_string(), self.resilience.serialize_value()));
         }
@@ -342,13 +364,16 @@ mod tests {
     }
 
     #[test]
-    fn resilience_key_omitted_when_absent_and_round_trips_when_present() {
+    fn optional_sections_omitted_when_absent_and_round_trip_when_present() {
         let r = sample_report();
         let json = serde_json::to_string(&r).unwrap();
-        assert!(
-            !json.contains("resilience"),
-            "absent resilience must not appear in baseline JSON: {json}"
-        );
+        for key in ["breakdown", "counters", "resilience"] {
+            assert!(
+                !json.contains(key),
+                "absent {key} must not appear in baseline JSON: {json}"
+            );
+        }
+        assert!(!json.contains("null"), "no optional key may degrade to null: {json}");
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
 
@@ -365,6 +390,38 @@ mod tests {
         assert!(json.contains("\"retries\""));
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, with);
+    }
+
+    #[test]
+    fn breakdown_quantile_columns_are_ordered_and_keys_stable() {
+        let mut tracer = StageTracer::new();
+        for i in 0..200u64 {
+            // A ramp so the quantiles actually spread out.
+            tracer.record(Stage::Submit, SimDuration::from_nanos(1_000 + 10 * i));
+            for &s in Stage::ALL.iter().skip(1) {
+                tracer.record(s, SimDuration::from_nanos(500));
+            }
+            tracer.record_op();
+        }
+        let b = StageBreakdown::from_tracer(&tracer);
+        for row in &b.stages {
+            assert!(row.p50_us <= row.p95_us, "{}: p50 > p95", row.stage);
+            assert!(row.p95_us <= row.p99_us, "{}: p95 > p99", row.stage);
+            assert!(row.p99_us <= row.p999_us, "{}: p99 > p999", row.stage);
+        }
+        let submit = b.stage(Stage::Submit);
+        assert!(submit.p50_us > 0.0 && submit.p999_us > submit.p50_us);
+        // Serialized key order is the declaration order, stable.
+        let json = serde_json::to_string(&b.stages[0]).unwrap();
+        let order = ["stage", "mean_us", "p50_us", "p95_us", "p99_us", "p999_us", "share_pct"];
+        let mut last = 0;
+        for key in order {
+            let pos = json.find(&format!("\"{key}\"")).expect(key);
+            assert!(pos >= last, "{key} out of order in {json}");
+            last = pos;
+        }
+        let back: StageBreakdown = serde_json::from_str(&serde_json::to_string(&b).unwrap()).unwrap();
+        assert_eq!(back, b);
     }
 
     #[test]

@@ -62,6 +62,27 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// A stable snake_case label for schedules printed in reports and
+    /// trace manifests.  Degrade events carrying the `HEALTHY` profile
+    /// label as the matching restore (that is how
+    /// [`FaultSchedule::link_restore`] and
+    /// [`FaultSchedule::dma_restore`] encode them).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::OsdCrash { .. } => "osd_crash",
+            FaultKind::OsdRevive { .. } => "osd_revive",
+            FaultKind::LinkDegrade(p) if p.is_healthy() => "link_restore",
+            FaultKind::LinkDegrade(_) => "link_degrade",
+            FaultKind::DmaDegrade(p) if p.is_healthy() => "dma_restore",
+            FaultKind::DmaDegrade(_) => "dma_degrade",
+            FaultKind::CardFault => "card_fault",
+            FaultKind::CardRecover => "card_recover",
+            FaultKind::DfxSwap { .. } => "dfx_swap",
+        }
+    }
+}
+
 /// A fault pinned to a virtual-time instant.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimedFault {
@@ -428,6 +449,19 @@ mod tests {
         // Full jitter stretches by 1 + jitter_frac.
         let jittered = p.backoff(0, 0.999999);
         assert!(jittered > b0 && jittered.as_nanos() <= (b0 * (1.0 + p.jitter_frac)).as_nanos());
+    }
+
+    #[test]
+    fn fault_kind_labels_distinguish_degrade_from_restore() {
+        assert_eq!(FaultKind::OsdCrash { osd: 3 }.label(), "osd_crash");
+        assert_eq!(FaultKind::OsdRevive { osd: 3 }.label(), "osd_revive");
+        let degraded = LinkFaultProfile { drop_p: 0.1, corrupt_p: 0.0 };
+        assert_eq!(FaultKind::LinkDegrade(degraded).label(), "link_degrade");
+        assert_eq!(FaultKind::LinkDegrade(LinkFaultProfile::HEALTHY).label(), "link_restore");
+        assert_eq!(FaultKind::DmaDegrade(DmaFaultProfile::HEALTHY).label(), "dma_restore");
+        assert_eq!(FaultKind::CardFault.label(), "card_fault");
+        assert_eq!(FaultKind::CardRecover.label(), "card_recover");
+        assert_eq!(FaultKind::DfxSwap { target: RmId::Tree }.label(), "dfx_swap");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::dfx::{configuration_analysis, DfxController, DfxError, RmId};
 use crate::power::PowerModel;
 use crate::resources::{ResourceVec, RS_ENCODER_STATIC, STRAW2_STATIC, STRAW_STATIC, U280_TOTAL};
 use deliba_crush::{CrushMap, DeviceId};
-use deliba_sim::{SimDuration, SimTime};
+use deliba_sim::{InstantKind, SimDuration, SimTime, TraceHandle, TraceLayer};
 
 /// The modeled U280 card.
 pub struct AlveoU280 {
@@ -33,6 +33,9 @@ pub struct AlveoU280 {
     /// the software host path while it is down.
     healthy: bool,
     faults_injected: u64,
+    /// Flight recorder (full-depth recording marks placements; DFX
+    /// swaps are marked at any depth — they are fault-class events).
+    trace: TraceHandle,
 }
 
 impl AlveoU280 {
@@ -61,7 +64,13 @@ impl AlveoU280 {
             accel_busy: SimDuration::ZERO,
             healthy: true,
             faults_injected: 0,
+            trace: TraceHandle::off(),
         }
+    }
+
+    /// Attach a flight-recorder handle.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// The paper's default card: Uniform RM resident, RS(4, 2).
@@ -126,19 +135,23 @@ impl AlveoU280 {
         now: SimTime,
         preferred: Option<RmId>,
     ) -> (SimDuration, AccelKind) {
-        let (d, kind) = match preferred {
+        let (d, kind, on_rm) = match preferred {
             Some(want) => match self.dfx.active_rm(now) {
                 Some(active) if active == want => {
-                    (self.rm_accel(want).charge_place(), want.accel_kind())
+                    (self.rm_accel(want).charge_place(), want.accel_kind(), true)
                 }
                 _ => {
                     self.dfx_fallbacks += 1;
-                    (self.straw2.charge_place(), AccelKind::Straw2)
+                    (self.straw2.charge_place(), AccelKind::Straw2, false)
                 }
             },
-            None => (self.straw2.charge_place(), AccelKind::Straw2),
+            None => (self.straw2.charge_place(), AccelKind::Straw2, false),
         };
         self.accel_busy += d;
+        if self.trace.full() {
+            self.trace
+                .instant(now, TraceLayer::Accel, InstantKind::AccelPlace, on_rm as u64);
+        }
         (d, kind)
     }
 
@@ -169,7 +182,15 @@ impl AlveoU280 {
 
     /// Begin a DFX swap.
     pub fn reconfigure(&mut self, now: SimTime, target: RmId) -> Result<SimTime, DfxError> {
-        self.dfx.reconfigure(now, target)
+        let done = self.dfx.reconfigure(now, target)?;
+        let rm_index = match target {
+            RmId::List => 0u64,
+            RmId::Tree => 1,
+            RmId::Uniform => 2,
+        };
+        self.trace
+            .instant_lane(now, TraceLayer::Accel, 0, InstantKind::DfxSwap, rm_index);
+        Ok(done)
     }
 
     /// Inject a card-level fault (the accelerator-fault case of the

@@ -7,7 +7,7 @@
 
 use crate::frame::FrameConfig;
 use crate::link::EthLink;
-use deliba_sim::{SimDuration, SimTime};
+use deliba_sim::{InstantKind, SimDuration, SimTime, TraceHandle, TraceLayer};
 
 /// Node identifier within the topology (0 = client, 1.. = servers).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,6 +27,7 @@ pub struct Topology {
     server_rx: Vec<EthLink>,
     cluster_tx: Vec<EthLink>,
     cluster_rx: Vec<EthLink>,
+    trace: TraceHandle,
 }
 
 impl Topology {
@@ -42,7 +43,14 @@ impl Topology {
             server_rx: (0..servers).map(|_| mk()).collect(),
             cluster_tx: (0..servers).map(|_| mk()).collect(),
             cluster_rx: (0..servers).map(|_| mk()).collect(),
+            trace: TraceHandle::off(),
         }
+    }
+
+    /// Attach a flight-recorder handle (full-depth recording marks each
+    /// link departure; the lane is the destination port).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// The paper's lab: 2 servers on 9.8 Gb/s effective 10 GbE.
@@ -63,6 +71,10 @@ impl Topology {
     /// Client sends `payload` bytes to `server`; returns arrival time.
     /// Occupies the client TX port and the server RX port.
     pub fn client_to_server(&mut self, now: SimTime, server: usize, payload: u64) -> SimTime {
+        if self.trace.full() {
+            self.trace
+                .instant_lane(now, TraceLayer::Net, server as u32, InstantKind::LinkTx, payload);
+        }
         let on_wire = self.client_tx.send(now, payload);
         // Store-and-forward through the switch into the server port.
         self.server_rx[server].send(on_wire, payload)
@@ -77,6 +89,10 @@ impl Topology {
     /// Server-to-server transfer (replication fan-out between OSD hosts)
     /// — rides the dedicated cluster network.
     pub fn server_to_server(&mut self, now: SimTime, from: usize, to: usize, payload: u64) -> SimTime {
+        if self.trace.full() {
+            self.trace
+                .instant_lane(now, TraceLayer::Net, to as u32, InstantKind::LinkTx, payload);
+        }
         let on_wire = self.cluster_tx[from].send(now, payload);
         self.cluster_rx[to].send(on_wire, payload)
     }

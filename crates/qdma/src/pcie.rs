@@ -8,13 +8,14 @@
 //! and read link utilization through one QDMA-owned type instead of
 //! carrying loose pipes around.
 
-use deliba_sim::{Bandwidth, SimDuration, SimTime};
+use deliba_sim::{Bandwidth, InstantKind, SimDuration, SimTime, TraceHandle, TraceLayer};
 
 /// Paired host→card / card→host PCIe pipes.
 #[derive(Debug, Clone)]
 pub struct PciePipes {
     h2c: Bandwidth,
     c2h: Bandwidth,
+    trace: TraceHandle,
 }
 
 impl PciePipes {
@@ -25,19 +26,36 @@ impl PciePipes {
         PciePipes {
             h2c: Bandwidth::new(gbytes_per_sec * 1e9, SimDuration::ZERO),
             c2h: Bandwidth::new(gbytes_per_sec * 1e9, SimDuration::ZERO),
+            trace: TraceHandle::off(),
         }
+    }
+
+    /// Attach a flight-recorder handle (full-depth recording marks each
+    /// DMA transfer on the timeline; lane 0 = H2C, lane 1 = C2H).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// DMA `bytes` host→card starting no earlier than `now`; returns
     /// arrival time at the card.
     pub fn h2c_transfer(&mut self, now: SimTime, bytes: u64) -> SimTime {
-        self.h2c.transfer(now, bytes)
+        let done = self.h2c.transfer(now, bytes);
+        if self.trace.full() {
+            self.trace
+                .instant_lane(done, TraceLayer::Qdma, 0, InstantKind::DmaH2c, bytes);
+        }
+        done
     }
 
     /// DMA `bytes` card→host starting no earlier than `now`; returns
     /// arrival time in host memory.
     pub fn c2h_transfer(&mut self, now: SimTime, bytes: u64) -> SimTime {
-        self.c2h.transfer(now, bytes)
+        let done = self.c2h.transfer(now, bytes);
+        if self.trace.full() {
+            self.trace
+                .instant_lane(done, TraceLayer::Qdma, 1, InstantKind::DmaC2h, bytes);
+        }
+        done
     }
 
     /// Busiest-direction link utilization over `[0, horizon]`.

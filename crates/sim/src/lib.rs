@@ -20,6 +20,9 @@
 //!   by the benchmark harness to print the paper's tables and figures;
 //! * [`stage`] — per-I/O stage-span tracing ([`Stage`] taxonomy +
 //!   [`StageTracer`]) behind the engine's latency-breakdown reports;
+//! * [`trace`] — the opt-in per-I/O flight recorder ([`TraceHandle`] /
+//!   [`trace::TraceSink`]): a bounded ring of typed events with
+//!   Chrome-trace export and worst-K span-chain reconstruction;
 //! * [`resource`] — queueing-theory building blocks (single/multi servers,
 //!   bandwidth pipes, token buckets) shared by the network, OSD, PCIe and
 //!   host-CPU models.
@@ -30,10 +33,12 @@ pub mod resource;
 pub mod rng;
 pub mod stage;
 pub mod time;
+pub mod trace;
 
 pub use event::{EventQueue, Simulator};
 pub use metrics::{Counter, Histogram, Summary};
 pub use stage::{Stage, StageTracer};
+pub use trace::{InstantKind, TraceDepth, TraceHandle, TraceLayer};
 pub use resource::{Bandwidth, MultiServer, Server, TokenBucket};
 pub use rng::{SimRng, SplitMix64, Xoshiro256};
 pub use time::{SimDuration, SimTime};

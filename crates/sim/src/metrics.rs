@@ -131,6 +131,44 @@ impl Histogram {
         self.quantile_ns(0.99) as f64 / 1_000.0
     }
 
+    /// Interpolated quantile (`q` in `[0, 1]`) in nanoseconds.
+    ///
+    /// Unlike [`Histogram::quantile_ns`], which answers with the lower
+    /// bound of the bucket holding the target rank, this interpolates
+    /// linearly *within* the sub-bucket by the fraction of the bucket's
+    /// population below the rank, then clamps to the observed
+    /// `[min, max]`.  Error stays bounded by one sub-bucket width
+    /// (`value/32` beyond the linear region, 1 ns inside it), and the
+    /// estimate is exact for every quantile of a single-valued
+    /// distribution — which is what makes the p50 ≈ mean sanity check
+    /// on near-constant stage costs meaningful.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let lo = Self::bucket_value(i);
+                let hi = if i + 1 < self.counts.len() {
+                    Self::bucket_value(i + 1)
+                } else {
+                    lo + 1
+                };
+                let frac = (target - seen) as f64 / c as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return est.clamp(self.min_ns as f64, self.max_ns as f64);
+            }
+            seen += c;
+        }
+        self.max_ns as f64
+    }
+
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -357,6 +395,48 @@ mod tests {
             assert!(v >= last, "bucket values must not decrease at {i}");
             last = v;
         }
+    }
+
+    #[test]
+    fn interpolated_quantile_exact_for_constant_distribution() {
+        let mut h = Histogram::new();
+        for _ in 0..1_000 {
+            h.record(SimDuration::from_nanos(9_137));
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 9_137.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn interpolated_quantile_tracks_uniform_ramp() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(SimDuration::from_nanos(i));
+        }
+        for (q, exact) in [(0.5, 5_000.0), (0.95, 9_500.0), (0.99, 9_900.0), (0.999, 9_990.0)] {
+            let est = h.quantile(q);
+            let err = (est - exact).abs();
+            // One sub-bucket of width exact/32 bounds the estimate.
+            assert!(err <= exact / 32.0 + 1.0, "q={q} est={est} exact={exact}");
+        }
+    }
+
+    #[test]
+    fn interpolated_quantile_is_monotone_and_clamped() {
+        let mut h = Histogram::new();
+        for &v in &[10u64, 200, 3_000, 40_000, 500_000] {
+            h.record(SimDuration::from_nanos(v));
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let mut last = f64::NEG_INFINITY;
+        for &q in &qs {
+            let est = h.quantile(q);
+            assert!(est >= last, "quantile must be monotone in q ({q})");
+            assert!((10.0..=500_000.0).contains(&est), "clamped to [min,max]");
+            last = est;
+        }
+        assert_eq!(Histogram::new().quantile(0.5), 0.0);
     }
 
     #[test]

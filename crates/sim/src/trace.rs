@@ -1,0 +1,812 @@
+//! Per-I/O flight recorder.
+//!
+//! Aggregate telemetry (`StageTracer` histograms, perf counters) says
+//! *what* a run did; it cannot say what one I/O, one queue slot, or one
+//! fault window did.  The flight recorder fills that gap: an opt-in,
+//! bounded ring buffer of typed [`TraceEvent`]s — span begin/end per
+//! [`Stage`] keyed by I/O id and queue-slot lane, instant events for
+//! faults/retries/failovers/DFX swaps/cache invalidations, and counter
+//! samples for queue depth and in-flight ops — recorded on virtual
+//! time, so the same seed replays a byte-identical trace.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when disabled.**  Every layer holds a [`TraceHandle`]
+//!    — a newtype over `Option<Rc<RefCell<TraceSink>>>` — and every
+//!    emit method is a single branch on `None` with no allocation, no
+//!    formatting, and no time arithmetic behind it.
+//! 2. **Bounded.**  The sink is a drop-oldest ring of at most
+//!    [`RING_CAPACITY`] events; a `dropped` counter keeps the loss
+//!    visible instead of silent.
+//! 3. **Deterministic.**  Events carry virtual [`SimTime`] only; the
+//!    exporters below are pure functions of the event sequence.
+//!
+//! Two exporters read the ring: [`TraceSink::chrome_json`] produces a
+//! `chrome://tracing`/Perfetto-loadable trace-event JSON (pid = layer,
+//! tid = queue-slot lane), and [`TraceSink::span_chains`] reconstructs
+//! per-I/O span chains for worst-K tail attribution.
+
+use crate::stage::Stage;
+use crate::time::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+/// Default ring bound: events beyond this drop the oldest entry.
+/// (~48 B/event, so a full ring is ~50 MB — only ever allocated when
+/// recording is on.)
+pub const RING_CAPACITY: usize = 1 << 20;
+
+/// How much the recorder captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TraceDepth {
+    /// Recorder off: no sink is allocated, emits cost one branch.
+    #[default]
+    Off,
+    /// Per-I/O stage spans plus fault/retry instants.
+    Spans,
+    /// Everything: spans, instants, per-layer events (link sends, DMA
+    /// transfers, OSD service, descriptor posts) and counter samples.
+    Full,
+}
+
+impl TraceDepth {
+    /// Is any recording enabled?
+    pub fn is_on(self) -> bool {
+        self != TraceDepth::Off
+    }
+
+    /// Parse a `DELIBA_TRACE` / `--trace-depth` value.
+    pub fn parse(s: &str) -> Option<TraceDepth> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "" | "0" | "off" | "none" => Some(TraceDepth::Off),
+            "1" | "spans" => Some(TraceDepth::Spans),
+            "2" | "full" | "on" => Some(TraceDepth::Full),
+            _ => None,
+        }
+    }
+
+    /// Stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceDepth::Off => "off",
+            TraceDepth::Spans => "spans",
+            TraceDepth::Full => "full",
+        }
+    }
+}
+
+/// The datapath layer an event belongs to — the Chrome-trace process id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLayer {
+    /// Closed-loop engine (stage spans, retry loop, counters).
+    Engine,
+    /// Host path (submission API, blk-mq, UIFD driver).
+    BlkMq,
+    /// QDMA descriptor/DMA engines and the PCIe pipes.
+    Qdma,
+    /// On-card accelerators and the DFX partition.
+    Accel,
+    /// Ethernet links and the FPGA TCP stack.
+    Net,
+    /// Cluster OSD service.
+    Cluster,
+    /// The fault plane's scheduled events.
+    Fault,
+}
+
+impl TraceLayer {
+    /// Every layer, in pid order.
+    pub const ALL: [TraceLayer; 7] = [
+        TraceLayer::Engine,
+        TraceLayer::BlkMq,
+        TraceLayer::Qdma,
+        TraceLayer::Accel,
+        TraceLayer::Net,
+        TraceLayer::Cluster,
+        TraceLayer::Fault,
+    ];
+
+    /// Chrome-trace process id (1-based, stable).
+    pub fn pid(self) -> u32 {
+        Self::ALL.iter().position(|&l| l == self).expect("layer in ALL") as u32 + 1
+    }
+
+    /// Stable snake_case label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceLayer::Engine => "engine",
+            TraceLayer::BlkMq => "blk_mq",
+            TraceLayer::Qdma => "qdma",
+            TraceLayer::Accel => "accel",
+            TraceLayer::Net => "net",
+            TraceLayer::Cluster => "cluster",
+            TraceLayer::Fault => "fault",
+        }
+    }
+}
+
+/// A point event on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstantKind {
+    /// Fault plane: an OSD died (detail = OSD id).
+    OsdCrash,
+    /// Fault plane: a downed OSD returned (detail = OSD id).
+    OsdRevive,
+    /// Fault plane: link switched to a degraded drop/corrupt profile.
+    LinkDegrade,
+    /// Fault plane: link restored to healthy.
+    LinkRestore,
+    /// Fault plane: DMA engine switched to a degraded error profile.
+    DmaDegrade,
+    /// Fault plane: DMA engine restored to healthy.
+    DmaRestore,
+    /// Fault plane: the accelerator card faulted.
+    CardFault,
+    /// Fault plane: the card completed its reset.
+    CardRecover,
+    /// A DFX partial-reconfiguration swap started (detail = RM index).
+    DfxSwap,
+    /// A map-epoch bump invalidated the placement cache (detail = new
+    /// epoch).
+    CacheInvalidation,
+    /// Engine: an attempt failed and was re-enqueued (detail = next
+    /// attempt number).
+    Retry,
+    /// Engine: a deadline expired (silent loss detected, or a completed
+    /// op overran its budget; detail = latency ns).
+    Timeout,
+    /// Engine: an op that failed at least once completed on a retry.
+    Failover,
+    /// Engine: an op exhausted its retry budget and was abandoned.
+    RetryExhausted,
+    /// Net: a request frame was dropped in flight.
+    FrameDrop,
+    /// Net: a response frame arrived corrupted and was discarded.
+    FrameCorrupt,
+    /// Qdma: a DMA transfer completed in error (detail: 0 = H2C,
+    /// 1 = C2H).
+    DmaError,
+    /// Qdma: descriptor exhaustion stalled the fetch engine (detail =
+    /// stall ns).
+    DmaStall,
+    /// Cluster: the map epoch could not serve the op.
+    ClusterUnavailable,
+    /// Cluster: an OSD serviced an op (detail = payload bytes).
+    OsdService,
+    /// Net: a frame train departed a link (detail = payload bytes).
+    LinkTx,
+    /// Qdma: a DMA payload crossed PCIe host→card (detail = bytes).
+    DmaH2c,
+    /// Qdma: a DMA payload crossed PCIe card→host (detail = bytes).
+    DmaC2h,
+    /// BlkMq: the DMQ dispatched a request to its queue set (detail =
+    /// driver tag).
+    BlkMqDispatch,
+    /// Qdma: a descriptor was posted to a ring (detail = user token).
+    DescriptorPost,
+    /// Accel: a placement ran on the card (detail = 1 when the DFX RM
+    /// served it, 0 for the static Straw2 fallback).
+    AccelPlace,
+}
+
+impl InstantKind {
+    /// Stable snake_case label (the Chrome-trace event name).
+    pub fn label(self) -> &'static str {
+        match self {
+            InstantKind::OsdCrash => "osd_crash",
+            InstantKind::OsdRevive => "osd_revive",
+            InstantKind::LinkDegrade => "link_degrade",
+            InstantKind::LinkRestore => "link_restore",
+            InstantKind::DmaDegrade => "dma_degrade",
+            InstantKind::DmaRestore => "dma_restore",
+            InstantKind::CardFault => "card_fault",
+            InstantKind::CardRecover => "card_recover",
+            InstantKind::DfxSwap => "dfx_swap",
+            InstantKind::CacheInvalidation => "cache_invalidation",
+            InstantKind::Retry => "retry",
+            InstantKind::Timeout => "timeout",
+            InstantKind::Failover => "failover",
+            InstantKind::RetryExhausted => "retry_exhausted",
+            InstantKind::FrameDrop => "frame_drop",
+            InstantKind::FrameCorrupt => "frame_corrupt",
+            InstantKind::DmaError => "dma_error",
+            InstantKind::DmaStall => "dma_stall",
+            InstantKind::ClusterUnavailable => "cluster_unavailable",
+            InstantKind::OsdService => "osd_service",
+            InstantKind::LinkTx => "link_tx",
+            InstantKind::DmaH2c => "dma_h2c",
+            InstantKind::DmaC2h => "dma_c2h",
+            InstantKind::BlkMqDispatch => "blk_mq_dispatch",
+            InstantKind::DescriptorPost => "descriptor_post",
+            InstantKind::AccelPlace => "accel_place",
+        }
+    }
+
+    /// Is this one of the fault plane's scheduled events (rendered with
+    /// the `fault` category so the timeline filter can isolate them)?
+    pub fn is_fault(self) -> bool {
+        matches!(
+            self,
+            InstantKind::OsdCrash
+                | InstantKind::OsdRevive
+                | InstantKind::LinkDegrade
+                | InstantKind::LinkRestore
+                | InstantKind::DmaDegrade
+                | InstantKind::DmaRestore
+                | InstantKind::CardFault
+                | InstantKind::CardRecover
+                | InstantKind::DfxSwap
+                | InstantKind::CacheInvalidation
+        )
+    }
+}
+
+/// What one trace event records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEventKind {
+    /// A stage span opens on this I/O's lane.
+    SpanBegin(Stage),
+    /// The matching span closes.
+    SpanEnd(Stage),
+    /// A point event (fault, retry, per-layer activity).
+    Instant {
+        /// What happened.
+        kind: InstantKind,
+        /// Kind-specific payload (OSD id, bytes, attempt…).
+        detail: u64,
+    },
+    /// A sampled gauge (Chrome counter track).
+    Counter {
+        /// Counter track name.
+        name: &'static str,
+        /// Sampled value.
+        value: u64,
+    },
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual instant.
+    pub at: SimTime,
+    /// The I/O this event belongs to (engine-issued sequence number).
+    pub io: u64,
+    /// Originating layer (Chrome pid).
+    pub layer: TraceLayer,
+    /// Track within the layer (Chrome tid): the queue-depth slot for
+    /// engine spans, the OSD/queue/ring id for layer events.
+    pub lane: u32,
+    /// Payload.
+    pub kind: TraceEventKind,
+}
+
+/// Recorder statistics (exported to the Prometheus dump).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Recording depth.
+    pub depth: TraceDepth,
+    /// Events currently held in the ring.
+    pub held: u64,
+    /// Events evicted by the ring bound.
+    pub dropped: u64,
+    /// Ring capacity.
+    pub capacity: u64,
+}
+
+/// One stage span of one I/O, reconstructed from the ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoSpan {
+    /// The stage.
+    pub stage: Stage,
+    /// Span open, ns.
+    pub begin_ns: u64,
+    /// Span close, ns.
+    pub end_ns: u64,
+}
+
+/// The full reconstructed span chain of one I/O.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoChain {
+    /// Engine-issued I/O sequence number.
+    pub io: u64,
+    /// Queue-depth slot the I/O ran on.
+    pub lane: u32,
+    /// Spans in critical-path order.
+    pub spans: Vec<IoSpan>,
+}
+
+impl IoChain {
+    /// First span open (the op's dispatch), ns.
+    pub fn begin_ns(&self) -> u64 {
+        self.spans.first().map_or(0, |s| s.begin_ns)
+    }
+
+    /// Last span close (the op's completion), ns.
+    pub fn end_ns(&self) -> u64 {
+        self.spans.iter().map(|s| s.end_ns).max().unwrap_or(0)
+    }
+
+    /// End-to-end duration, ns.
+    pub fn total_ns(&self) -> u64 {
+        self.end_ns() - self.begin_ns()
+    }
+
+    /// Total time attributed to `stage`, ns.
+    pub fn span_ns(&self, stage: Stage) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.stage == stage)
+            .map(|s| s.end_ns - s.begin_ns)
+            .sum()
+    }
+}
+
+/// The bounded event ring.
+#[derive(Debug)]
+pub struct TraceSink {
+    depth: TraceDepth,
+    cap: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+    cur_io: u64,
+    cur_lane: u32,
+}
+
+impl TraceSink {
+    /// A sink recording at `depth`, holding at most `cap` events.
+    pub fn new(depth: TraceDepth, cap: usize) -> Self {
+        let cap = cap.max(1);
+        TraceSink {
+            depth,
+            cap,
+            events: VecDeque::with_capacity(cap.min(RING_CAPACITY)),
+            dropped: 0,
+            cur_io: 0,
+            cur_lane: 0,
+        }
+    }
+
+    /// Recording depth.
+    pub fn depth(&self) -> TraceDepth {
+        self.depth
+    }
+
+    /// Append one event, evicting the oldest when the ring is full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Events evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Snapshot of the recorder stats.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats {
+            depth: self.depth,
+            held: self.events.len() as u64,
+            dropped: self.dropped,
+            capacity: self.cap as u64,
+        }
+    }
+
+    /// Reconstruct per-I/O span chains from the ring, keyed ascending
+    /// by I/O id.  A `SpanEnd` whose opening `SpanBegin` was evicted is
+    /// dropped; partial chains (tail evicted) keep what survived.
+    pub fn span_chains(&self) -> Vec<IoChain> {
+        let mut chains: BTreeMap<u64, IoChain> = BTreeMap::new();
+        for ev in &self.events {
+            match ev.kind {
+                TraceEventKind::SpanBegin(stage) => {
+                    let chain = chains.entry(ev.io).or_insert_with(|| IoChain {
+                        io: ev.io,
+                        lane: ev.lane,
+                        spans: Vec::new(),
+                    });
+                    chain.spans.push(IoSpan {
+                        stage,
+                        begin_ns: ev.at.as_nanos(),
+                        end_ns: ev.at.as_nanos(),
+                    });
+                }
+                TraceEventKind::SpanEnd(stage) => {
+                    if let Some(chain) = chains.get_mut(&ev.io) {
+                        if let Some(span) =
+                            chain.spans.iter_mut().rev().find(|s| s.stage == stage)
+                        {
+                            span.end_ns = ev.at.as_nanos();
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        chains.into_values().collect()
+    }
+
+    /// The `k` slowest I/Os (end-to-end), slowest first; ties break
+    /// toward the earlier I/O id so the report is deterministic.
+    pub fn worst_k(&self, k: usize) -> Vec<IoChain> {
+        let mut chains = self.span_chains();
+        chains.sort_by(|a, b| b.total_ns().cmp(&a.total_ns()).then(a.io.cmp(&b.io)));
+        chains.truncate(k);
+        chains
+    }
+
+    /// Export the ring as Chrome trace-event JSON (the object form, so
+    /// `chrome://tracing` and Perfetto both load it).  Timestamps are
+    /// microseconds with nanosecond fractions; pid maps the layer, tid
+    /// the lane.  A pure function of the event sequence — byte-identical
+    /// across same-seed runs.
+    pub fn chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if first {
+                first = false;
+            } else {
+                out.push_str(",\n");
+            }
+        };
+        for layer in TraceLayer::ALL {
+            sep(&mut out);
+            out.push_str(&format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                layer.pid(),
+                layer.label()
+            ));
+        }
+        for ev in &self.events {
+            sep(&mut out);
+            let ns = ev.at.as_nanos();
+            let ts = format!("{}.{:03}", ns / 1_000, ns % 1_000);
+            let pid = ev.layer.pid();
+            match ev.kind {
+                TraceEventKind::SpanBegin(stage) => out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"B\",\"ts\":{ts},\
+                     \"pid\":{pid},\"tid\":{},\"args\":{{\"io\":{}}}}}",
+                    stage.label(),
+                    ev.layer.label(),
+                    ev.lane,
+                    ev.io
+                )),
+                TraceEventKind::SpanEnd(stage) => out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"E\",\"ts\":{ts},\
+                     \"pid\":{pid},\"tid\":{}}}",
+                    stage.label(),
+                    ev.layer.label(),
+                    ev.lane
+                )),
+                TraceEventKind::Instant { kind, detail } => out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts},\"pid\":{pid},\"tid\":{},\
+                     \"args\":{{\"io\":{},\"detail\":{detail}}}}}",
+                    kind.label(),
+                    if kind.is_fault() { "fault" } else { ev.layer.label() },
+                    ev.lane,
+                    ev.io
+                )),
+                TraceEventKind::Counter { name, value } => out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{pid},\
+                     \"tid\":0,\"args\":{{\"{name}\":{value}}}}}",
+                )),
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// The shared, cloneable handle every layer records through.  `None`
+/// when the recorder is off: each emit method is then a single branch,
+/// with no allocation or arithmetic behind it.
+#[derive(Debug, Clone, Default)]
+pub struct TraceHandle(Option<Rc<RefCell<TraceSink>>>);
+
+impl TraceHandle {
+    /// A disabled handle (the default everywhere).
+    pub fn off() -> Self {
+        TraceHandle(None)
+    }
+
+    /// A recording handle, or a disabled one when `depth` is `Off`.
+    pub fn recording(depth: TraceDepth, cap: usize) -> Self {
+        if depth.is_on() {
+            TraceHandle(Some(Rc::new(RefCell::new(TraceSink::new(depth, cap)))))
+        } else {
+            TraceHandle(None)
+        }
+    }
+
+    /// Is any recording enabled?
+    pub fn is_on(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Is the recorder capturing per-layer events and counters?
+    pub fn full(&self) -> bool {
+        self.0
+            .as_ref()
+            .is_some_and(|s| s.borrow().depth == TraceDepth::Full)
+    }
+
+    /// Tag subsequent events with the I/O id and queue-slot lane the
+    /// engine is currently executing (layers below the engine do not
+    /// know either).
+    pub fn set_ctx(&self, io: u64, lane: u32) {
+        if let Some(sink) = &self.0 {
+            let mut s = sink.borrow_mut();
+            s.cur_io = io;
+            s.cur_lane = lane;
+        }
+    }
+
+    /// Emit one I/O's full stage walk: `spans` telescope from `start`,
+    /// in order, each producing a begin/end pair on the current lane.
+    pub fn op_spans(&self, start: SimTime, spans: &[(Stage, SimDuration)]) {
+        let Some(sink) = &self.0 else { return };
+        let mut s = sink.borrow_mut();
+        let (io, lane) = (s.cur_io, s.cur_lane);
+        let mut at = start;
+        for &(stage, d) in spans {
+            s.push(TraceEvent {
+                at,
+                io,
+                layer: TraceLayer::Engine,
+                lane,
+                kind: TraceEventKind::SpanBegin(stage),
+            });
+            at += d;
+            s.push(TraceEvent {
+                at,
+                io,
+                layer: TraceLayer::Engine,
+                lane,
+                kind: TraceEventKind::SpanEnd(stage),
+            });
+        }
+    }
+
+    /// Emit an instant on the current I/O's lane.
+    pub fn instant(&self, at: SimTime, layer: TraceLayer, kind: InstantKind, detail: u64) {
+        let Some(sink) = &self.0 else { return };
+        let mut s = sink.borrow_mut();
+        let (io, lane) = (s.cur_io, s.cur_lane);
+        s.push(TraceEvent {
+            at,
+            io,
+            layer,
+            lane,
+            kind: TraceEventKind::Instant { kind, detail },
+        });
+    }
+
+    /// Emit an instant on an explicit lane (OSD id, queue id, ring id).
+    pub fn instant_lane(
+        &self,
+        at: SimTime,
+        layer: TraceLayer,
+        lane: u32,
+        kind: InstantKind,
+        detail: u64,
+    ) {
+        let Some(sink) = &self.0 else { return };
+        let mut s = sink.borrow_mut();
+        let io = s.cur_io;
+        s.push(TraceEvent {
+            at,
+            io,
+            layer,
+            lane,
+            kind: TraceEventKind::Instant { kind, detail },
+        });
+    }
+
+    /// Emit a counter sample (Chrome counter track on the engine pid).
+    pub fn counter(&self, at: SimTime, name: &'static str, value: u64) {
+        let Some(sink) = &self.0 else { return };
+        let mut s = sink.borrow_mut();
+        let io = s.cur_io;
+        s.push(TraceEvent {
+            at,
+            io,
+            layer: TraceLayer::Engine,
+            lane: 0,
+            kind: TraceEventKind::Counter { name, value },
+        });
+    }
+
+    /// Run `f` against the sink; `None` when the recorder is off.
+    pub fn with<R>(&self, f: impl FnOnce(&TraceSink) -> R) -> Option<R> {
+        self.0.as_ref().map(|s| f(&s.borrow()))
+    }
+
+    /// Chrome trace-event JSON of the ring; `None` when off.
+    pub fn chrome_json(&self) -> Option<String> {
+        self.with(|s| s.chrome_json())
+    }
+
+    /// Reconstructed per-I/O span chains (empty when off).
+    pub fn span_chains(&self) -> Vec<IoChain> {
+        self.with(|s| s.span_chains()).unwrap_or_default()
+    }
+
+    /// The `k` slowest I/Os (empty when off).
+    pub fn worst_k(&self, k: usize) -> Vec<IoChain> {
+        self.with(|s| s.worst_k(k)).unwrap_or_default()
+    }
+
+    /// Recorder stats; `None` when off.
+    pub fn stats(&self) -> Option<TraceStats> {
+        self.with(|s| s.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_pair(sink: &mut TraceSink, io: u64, lane: u32, stage: Stage, b: u64, e: u64) {
+        sink.push(TraceEvent {
+            at: SimTime::from_nanos(b),
+            io,
+            layer: TraceLayer::Engine,
+            lane,
+            kind: TraceEventKind::SpanBegin(stage),
+        });
+        sink.push(TraceEvent {
+            at: SimTime::from_nanos(e),
+            io,
+            layer: TraceLayer::Engine,
+            lane,
+            kind: TraceEventKind::SpanEnd(stage),
+        });
+    }
+
+    #[test]
+    fn depth_parse_and_labels() {
+        assert_eq!(TraceDepth::parse("off"), Some(TraceDepth::Off));
+        assert_eq!(TraceDepth::parse("SPANS"), Some(TraceDepth::Spans));
+        assert_eq!(TraceDepth::parse("full"), Some(TraceDepth::Full));
+        assert_eq!(TraceDepth::parse("2"), Some(TraceDepth::Full));
+        assert_eq!(TraceDepth::parse("bogus"), None);
+        assert!(!TraceDepth::Off.is_on() && TraceDepth::Spans.is_on());
+        assert_eq!(TraceDepth::Full.label(), "full");
+    }
+
+    #[test]
+    fn layer_pids_are_stable_and_unique() {
+        let pids: Vec<u32> = TraceLayer::ALL.iter().map(|l| l.pid()).collect();
+        assert_eq!(pids, (1..=7).collect::<Vec<_>>());
+        assert_eq!(TraceLayer::Engine.pid(), 1);
+        assert_eq!(TraceLayer::Fault.pid(), 7);
+    }
+
+    #[test]
+    fn off_handle_is_inert() {
+        let h = TraceHandle::off();
+        assert!(!h.is_on() && !h.full());
+        h.set_ctx(1, 2);
+        h.op_spans(SimTime::ZERO, &[(Stage::Submit, SimDuration::from_nanos(5))]);
+        h.instant(SimTime::ZERO, TraceLayer::Fault, InstantKind::OsdCrash, 3);
+        h.counter(SimTime::ZERO, "inflight_ops", 4);
+        assert_eq!(h.chrome_json(), None);
+        assert!(h.span_chains().is_empty());
+        assert!(h.stats().is_none());
+        assert!(!TraceHandle::recording(TraceDepth::Off, 16).is_on());
+    }
+
+    #[test]
+    fn ring_bound_drops_oldest() {
+        let mut sink = TraceSink::new(TraceDepth::Spans, 4);
+        for i in 0..6u64 {
+            sink.push(TraceEvent {
+                at: SimTime::from_nanos(i),
+                io: i,
+                layer: TraceLayer::Engine,
+                lane: 0,
+                kind: TraceEventKind::Instant { kind: InstantKind::Retry, detail: 0 },
+            });
+        }
+        assert_eq!(sink.dropped(), 2);
+        let held: Vec<u64> = sink.events().map(|e| e.io).collect();
+        assert_eq!(held, [2, 3, 4, 5]);
+        let stats = sink.stats();
+        assert_eq!((stats.held, stats.dropped, stats.capacity), (4, 2, 4));
+    }
+
+    #[test]
+    fn span_chains_reconstruct_and_rank_worst() {
+        let mut sink = TraceSink::new(TraceDepth::Spans, 64);
+        // io 0: 100 ns total; io 1: 400 ns total on another lane.
+        span_pair(&mut sink, 0, 0, Stage::Submit, 0, 40);
+        span_pair(&mut sink, 0, 0, Stage::OsdService, 40, 100);
+        span_pair(&mut sink, 1, 3, Stage::Submit, 100, 150);
+        span_pair(&mut sink, 1, 3, Stage::OsdService, 150, 500);
+        let chains = sink.span_chains();
+        assert_eq!(chains.len(), 2);
+        assert_eq!(chains[0].io, 0);
+        assert_eq!(chains[0].total_ns(), 100);
+        assert_eq!(chains[0].span_ns(Stage::OsdService), 60);
+        assert_eq!(chains[1].lane, 3);
+        let worst = sink.worst_k(1);
+        assert_eq!(worst.len(), 1);
+        assert_eq!(worst[0].io, 1);
+        assert_eq!(worst[0].total_ns(), 400);
+    }
+
+    #[test]
+    fn handle_op_spans_telescope() {
+        let h = TraceHandle::recording(TraceDepth::Spans, 1024);
+        h.set_ctx(7, 2);
+        h.op_spans(
+            SimTime::from_nanos(1_000),
+            &[
+                (Stage::Submit, SimDuration::from_nanos(100)),
+                (Stage::BlkMq, SimDuration::ZERO),
+                (Stage::OsdService, SimDuration::from_nanos(400)),
+            ],
+        );
+        let chains = h.span_chains();
+        assert_eq!(chains.len(), 1);
+        let c = &chains[0];
+        assert_eq!((c.io, c.lane), (7, 2));
+        assert_eq!(c.begin_ns(), 1_000);
+        assert_eq!(c.end_ns(), 1_500);
+        assert_eq!(c.span_ns(Stage::BlkMq), 0);
+        // Spans are contiguous: the per-io sum equals end - begin.
+        let sum: u64 = c.spans.iter().map(|s| s.end_ns - s.begin_ns).sum();
+        assert_eq!(sum, c.total_ns());
+    }
+
+    #[test]
+    fn chrome_json_shape_and_determinism() {
+        let build = || {
+            let h = TraceHandle::recording(TraceDepth::Full, 1024);
+            h.set_ctx(0, 1);
+            h.op_spans(
+                SimTime::from_nanos(1_234),
+                &[(Stage::Submit, SimDuration::from_nanos(4_321))],
+            );
+            h.instant(SimTime::from_nanos(2_000), TraceLayer::Fault, InstantKind::OsdCrash, 5);
+            h.counter(SimTime::from_nanos(3_000), "inflight_ops", 32);
+            h.chrome_json().expect("recording")
+        };
+        let json = build();
+        assert_eq!(json, build(), "export must be deterministic");
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        // Fractional-µs timestamps preserve the ns grid.
+        assert!(json.contains("\"ts\":1.234"), "{json}");
+        assert!(json.contains("\"ts\":5.555"), "{json}");
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"name\":\"osd_crash\",\"cat\":\"fault\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"process_name\""));
+        // Balanced: one B, one E.
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 1);
+    }
+
+    #[test]
+    fn instant_labels_are_stable() {
+        assert_eq!(InstantKind::OsdCrash.label(), "osd_crash");
+        assert_eq!(InstantKind::CacheInvalidation.label(), "cache_invalidation");
+        assert_eq!(InstantKind::BlkMqDispatch.label(), "blk_mq_dispatch");
+        assert!(InstantKind::DfxSwap.is_fault());
+        assert!(!InstantKind::Retry.is_fault());
+    }
+}

@@ -100,4 +100,39 @@ proptest! {
         let exact_mean: f64 = samples.iter().map(|&s| s as f64).sum::<f64>() / samples.len() as f64;
         prop_assert!((h.mean_ns() - exact_mean).abs() < 1e-6);
     }
+
+    /// The interpolated `Histogram::quantile` stays within one
+    /// sub-bucket (`exact/32 + 1` ns) of a sorted-vector reference
+    /// model at every quantile the reports use, and is monotone in `q`.
+    #[test]
+    fn interpolated_quantile_matches_reference_model(
+        samples in proptest::collection::vec(1u64..10_000_000, 1..400),
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(SimDuration::from_nanos(s));
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as f64;
+        let mut last = f64::NEG_INFINITY;
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            // Same rank convention as the histogram: ceil(q·n), 1-based.
+            let rank = ((q * n).ceil() as usize).max(1);
+            let exact = sorted[rank - 1] as f64;
+            let est = h.quantile(q);
+            let bound = exact / 32.0 + 1.0;
+            prop_assert!(
+                (est - exact).abs() <= bound,
+                "q={} est={} exact={} bound={}", q, est, exact, bound
+            );
+            prop_assert!(est >= last, "quantile must be monotone in q");
+            prop_assert!(
+                est >= *sorted.first().unwrap() as f64
+                    && est <= *sorted.last().unwrap() as f64,
+                "estimate clamped to the observed range"
+            );
+            last = est;
+        }
+    }
 }

@@ -101,6 +101,33 @@ fn tracing_does_not_perturb_results() {
 }
 
 #[test]
+fn quantile_columns_track_the_mean_and_stay_ordered() {
+    let r = traced_probe(Generation::DeLiBAK, RwMode::Read);
+    let b = r.breakdown.as_ref().unwrap();
+    for row in &b.stages {
+        assert!(row.p50_us <= row.p95_us, "{}: p50 > p95", row.stage);
+        assert!(row.p95_us <= row.p99_us, "{}: p95 > p99", row.stage);
+        assert!(row.p99_us <= row.p999_us, "{}: p99 > p99.9", row.stage);
+        if row.mean_us == 0.0 {
+            // Architectural zeros stay zero at every quantile.
+            assert_eq!(row.p50_us, 0.0, "{}: zero stage must have zero p50", row.stage);
+            assert_eq!(row.p999_us, 0.0, "{}: zero stage must have zero p99.9", row.stage);
+        }
+    }
+    // The submit cost is near-constant per op at fixed block size, so
+    // the interpolated median must land on the mean (within the
+    // histogram's one-sub-bucket resolution plus a little queue noise).
+    let submit = b.stage(Stage::Submit);
+    assert!(submit.mean_us > 0.0);
+    assert!(
+        (submit.p50_us - submit.mean_us).abs() / submit.mean_us < 0.05,
+        "submit p50 {:.3} µs strays from mean {:.3} µs",
+        submit.p50_us,
+        submit.mean_us
+    );
+}
+
+#[test]
 fn breakdown_exports_all_stages_as_json() {
     let r = traced_probe(Generation::DeLiBAK, RwMode::Read);
     let json = serde_json::to_string(&r).unwrap();

@@ -69,6 +69,20 @@ pub trait Deserialize: Sized {
 
 // ---- Serialize impls -------------------------------------------------
 
+// Identity impls so callers can (de)serialize into the raw data model
+// itself — e.g. parse arbitrary JSON with `serde_json::from_str::<Value>`.
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn serialize_value(&self) -> Value {
         (**self).serialize_value()
