@@ -4,6 +4,8 @@
 //! ```text
 //! harness [experiment ...] [--json] [--out <path>] [--serial]
 //! harness trace [--trace-depth <off|spans|full>] [--out <dir>]
+//! harness loadcurve [--rate <kiops,...>] [--arrival <poisson|bursty|diurnal>]
+//!                   [--zipf-s <s>] [--admission-cap <n>] [--json] [--out <path>]
 //!
 //! experiments: fig3 fig4 fig6 fig7 fig8 fig9
 //!              table1 table2 table3 power realworld headline dfx
@@ -11,14 +13,28 @@
 //!              perf (wall-clock gate; never part of `all`)
 //!              chaos (fault-plane soak; never part of `all`)
 //!              trace (flight-recorder export; never part of `all`)
+//!              loadcurve (open-loop latency-under-load sweep; never
+//!                         part of `all`)
 //!              all (default)
 //!
-//! --json         emit the results as JSON instead of text tables
-//! --out <path>   write the JSON to <path> (implies --json)
-//! --serial       run every sweep on one thread (also: DELIBA_JOBS=n)
-//! --trace-depth  recorder depth for `trace` (default: full; also the
-//!                DELIBA_TRACE env var — the flag wins)
+//! --json           emit the results as JSON instead of text tables
+//! --out <path>     write the JSON to <path> (implies --json)
+//! --serial         run every sweep on one thread (also: DELIBA_JOBS=n)
+//! --trace-depth    recorder depth for `trace` (default: full; also the
+//!                  DELIBA_TRACE env var — the flag wins)
+//! --rate           loadcurve offered rates, comma-separated KIOPS
+//!                  (default: 2,4,8,16,32,64,96,128)
+//! --arrival        loadcurve arrival process (default: poisson)
+//! --zipf-s         loadcurve Zipf skew of block selection (default: 0.9)
+//! --admission-cap  loadcurve in-flight bound; arrivals past it are
+//!                  dropped and counted (default: 256)
 //! ```
+//!
+//! `loadcurve` runs alone: its JSON output is one `RunReport` per
+//! generation, each carrying the sweep in its `load_curve` section —
+//! not the figure-cell array the other experiments emit.  Latency is
+//! measured from each op's *intended* arrival instant, so the curves
+//! are coordinated-omission-safe by construction.
 //!
 //! `trace` runs alone (it is a file-emitting export, not a figure): it
 //! writes `trace-<cell>.trace.json` (Chrome trace-event JSON — load in
@@ -44,12 +60,16 @@ const ALL: &[&str] = &[
 const KNOWN: &[&str] = &[
     "all", "table1", "table2", "table3", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
     "power", "realworld", "headline", "dfx", "ablation", "mtu", "breakdown", "perf",
-    "chaos", "trace",
+    "chaos", "trace", "loadcurve",
 ];
 
 fn usage() -> ! {
     eprintln!("usage: harness [experiment ...] [--json] [--out <path>] [--serial]");
     eprintln!("       harness trace [--trace-depth <off|spans|full>] [--out <dir>]");
+    eprintln!(
+        "       harness loadcurve [--rate <kiops,...>] [--arrival <kind>] \
+         [--zipf-s <s>] [--admission-cap <n>]"
+    );
     eprintln!("experiments: {}", KNOWN.join(" "));
     std::process::exit(2);
 }
@@ -94,12 +114,34 @@ fn run_trace(depth_flag: Option<String>, out_dir: Option<String>) {
     }
 }
 
+/// The `loadcurve` subcommand: run the open-loop sweep, print the text
+/// table or emit one `RunReport` per generation (curve in `load_curve`).
+fn run_loadcurve(opts: LoadCurveOpts, json: bool, out: Option<String>) {
+    let (exp, reports) = loadcurve_with(&opts);
+    if !json {
+        exp.print();
+        return;
+    }
+    let body = serde_json::to_string_pretty(&reports).expect("serializable");
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, body + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        None => println!("{body}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
     let mut serial = false;
     let mut out: Option<String> = None;
     let mut trace_depth: Option<String> = None;
+    let mut lc = LoadCurveOpts::default();
+    let mut lc_flag_seen = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -123,6 +165,58 @@ fn main() {
                     usage();
                 }
             },
+            "--rate" => {
+                let Some(list) = it.next() else {
+                    eprintln!("--rate requires a comma-separated KIOPS list");
+                    usage();
+                };
+                let rates: Option<Vec<f64>> = list
+                    .split(',')
+                    .map(|r| r.trim().parse::<f64>().ok().filter(|v| *v > 0.0))
+                    .collect();
+                match rates {
+                    Some(r) if !r.is_empty() => lc.rates_kiops = r,
+                    _ => {
+                        eprintln!("bad --rate list: {list} (want e.g. 2,8,32,128)");
+                        usage();
+                    }
+                }
+                lc_flag_seen = true;
+            }
+            "--arrival" => {
+                let Some(kind) = it.next() else {
+                    eprintln!("--arrival requires poisson, bursty or diurnal");
+                    usage();
+                };
+                match deliba_workload::ArrivalKind::parse(&kind) {
+                    Some(k) => lc.arrival = k,
+                    None => {
+                        eprintln!("bad --arrival: {kind} (use poisson, bursty or diurnal)");
+                        usage();
+                    }
+                }
+                lc_flag_seen = true;
+            }
+            "--zipf-s" => {
+                match it.next().and_then(|s| s.parse::<f64>().ok()).filter(|s| *s >= 0.0) {
+                    Some(s) => lc.zipf_s = s,
+                    None => {
+                        eprintln!("--zipf-s requires a nonnegative number");
+                        usage();
+                    }
+                }
+                lc_flag_seen = true;
+            }
+            "--admission-cap" => {
+                match it.next().and_then(|s| s.parse::<u32>().ok()).filter(|c| *c > 0) {
+                    Some(c) => lc.admission_cap = c,
+                    None => {
+                        eprintln!("--admission-cap requires a positive integer");
+                        usage();
+                    }
+                }
+                lc_flag_seen = true;
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("unknown flag: {other}");
@@ -174,6 +268,21 @@ fn main() {
     }
 
     runner::set_serial(serial);
+
+    // `loadcurve` also runs alone: its JSON is per-generation
+    // `RunReport`s (curve in `load_curve`), not the figure-cell array.
+    if expanded.iter().any(|w| w == "loadcurve") {
+        if expanded.len() != 1 {
+            eprintln!("`loadcurve` runs alone (its JSON schema is RunReports, not figure cells)");
+            usage();
+        }
+        run_loadcurve(lc, json, out);
+        return;
+    }
+    if lc_flag_seen {
+        eprintln!("--rate/--arrival/--zipf-s/--admission-cap only apply to `loadcurve`");
+        usage();
+    }
 
     let mut results: Vec<Experiment> = Vec::new();
     for w in &expanded {

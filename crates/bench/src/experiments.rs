@@ -875,6 +875,22 @@ pub fn perf() -> Experiment {
     let fused_share = counters.fused_events as f64 / counters.events.max(1) as f64;
     let events_per_io = counters.events as f64 / r.ops.max(1) as f64;
 
+    // The deep-queue reference cell above reads 0.0 fused share by
+    // design: with 32 in-flight ops per job the heap always holds an
+    // earlier token, so the completion-pops-next fusion can never apply
+    // (see the engine's fused_fast_path_* regression tests).  A
+    // queue-depth-1 probe is where the path provably fires — pin its
+    // share here so BENCH_harness.json documents both regimes.
+    let fused_share_qd1 = {
+        use deliba_core::TraceOp;
+        let ops: Vec<TraceOp> =
+            (0..PROBE_OPS).map(|i| TraceOp::read((i % 1024) * 4096, 4096, true)).collect();
+        let mut e = Engine::new(EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication));
+        let p = e.run_trace(vec![ops], 1);
+        let c = p.counters.expect("engine reports carry counters");
+        c.fused_events as f64 / c.events.max(1) as f64
+    };
+
     // Flight-recorder cost: the same reference workload with the
     // recorder disabled (the default — every emit is one branch on a
     // `None`) and recording at full depth.  Best of 3 each, so a single
@@ -950,6 +966,13 @@ pub fn perf() -> Experiment {
                 workload: "fused event share".into(),
                 unit: "frac",
                 measured: fused_share,
+                paper: None,
+            },
+            Cell {
+                config: "fused fast path".into(),
+                workload: "fused event share (qd 1)".into(),
+                unit: "frac",
+                measured: fused_share_qd1,
                 paper: None,
             },
             Cell {
@@ -1118,6 +1141,124 @@ pub fn chaos() -> Experiment {
         caption: "chaos soak: pinned-seed fault schedule vs retry/failover policy".into(),
         cells,
     }
+}
+
+// ---------------------------------------------------------------------
+// Open-loop latency-under-load curves (`harness loadcurve`)
+// ---------------------------------------------------------------------
+
+/// Knobs for the open-loop load sweep — `harness loadcurve` maps its
+/// `--rate/--arrival/--zipf-s/--admission-cap` flags onto these.
+#[derive(Debug, Clone)]
+pub struct LoadCurveOpts {
+    /// Offered rates to sweep, KIOPS, low → high.
+    pub rates_kiops: Vec<f64>,
+    /// Arrival process shaping the intended-arrival clock.
+    pub arrival: deliba_workload::ArrivalKind,
+    /// Zipf skew of block selection (0 = uniform).
+    pub zipf_s: f64,
+    /// Admission-queue cap: in-flight bound; arrivals beyond it are
+    /// dropped (and counted), never silently deferred.
+    pub admission_cap: u32,
+    /// Intended arrivals per sweep point.
+    pub ops_per_point: u64,
+}
+
+impl Default for LoadCurveOpts {
+    /// Sweep from well below any generation's capacity to well past
+    /// DeLiBA-K's, so every curve shows both the flat region and the
+    /// saturation knee.
+    fn default() -> Self {
+        LoadCurveOpts {
+            rates_kiops: vec![2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 96.0, 128.0],
+            arrival: deliba_workload::ArrivalKind::Poisson,
+            zipf_s: 0.9,
+            admission_cap: 256,
+            ops_per_point: CELL_OPS / 2,
+        }
+    }
+}
+
+/// The open-loop latency-under-load sweep: one [`RunReport`] per
+/// generation (D1, D2, DK), each carrying the whole curve in its
+/// `load_curve` section, plus the text-table [`Experiment`].
+///
+/// Every generation replays the *identical* arrival streams (the
+/// generator seed is fixed and rate-independent of the op sequence), so
+/// the curves differ only in what the datapath does with the traffic.
+/// The carrier report's scalar latency/throughput fields describe the
+/// final (highest-rate) point; the curve is the `load_curve` section.
+pub fn loadcurve_with(opts: &LoadCurveOpts) -> (Experiment, Vec<RunReport>) {
+    use deliba_core::{LoadCurve, OpenLoopRun};
+    use deliba_workload::OpenLoopSpec;
+
+    assert!(!opts.rates_kiops.is_empty(), "loadcurve needs at least one rate");
+    const GENS: [Generation; 3] =
+        [Generation::DeLiBA1, Generation::DeLiBA2, Generation::DeLiBAK];
+    let combos: Vec<(Generation, f64)> = GENS
+        .iter()
+        .flat_map(|&g| opts.rates_kiops.iter().map(move |&r| (g, r)))
+        .collect();
+    let (arrival, zipf_s, cap, ops) =
+        (opts.arrival, opts.zipf_s, opts.admission_cap, opts.ops_per_point);
+    let runs: Vec<OpenLoopRun> = crate::runner::par_map(combos, move |(g, rate)| {
+        let stream = OpenLoopSpec {
+            rate_kiops: rate,
+            ops,
+            zipf_s,
+            arrival,
+            ..Default::default()
+        }
+        .generate();
+        Engine::new(EngineConfig::new(g, true, Mode::Replication)).run_open_loop(&stream, cap)
+    });
+
+    let mut cells = Vec::new();
+    let mut reports = Vec::new();
+    for (g, gen_runs) in GENS.iter().zip(runs.chunks(opts.rates_kiops.len())) {
+        let points: Vec<_> = gen_runs.iter().map(|r| r.point).collect();
+        for p in &points {
+            let at = format!("@ {:.0} KIOPS offered", p.offered_kiops);
+            let mut cell = |metric: &str, unit: &'static str, measured: f64| {
+                cells.push(Cell {
+                    config: gen_name(*g),
+                    workload: format!("{metric} {at}"),
+                    unit,
+                    measured,
+                    paper: None,
+                });
+            };
+            cell("achieved", "KIOPS", p.achieved_kiops);
+            cell("p50", "µs", p.p50_us);
+            cell("p99", "µs", p.p99_us);
+            cell("p99.9", "µs", p.p999_us);
+            cell("dropped", "ops", p.dropped as f64);
+        }
+        let mut report = gen_runs.last().expect("≥ 1 rate").report.clone();
+        report.load_curve = Some(LoadCurve {
+            arrival: arrival.label().into(),
+            zipf_s,
+            admission_cap: cap as u64,
+            points,
+        });
+        reports.push(report);
+    }
+    let exp = Experiment {
+        id: "loadcurve".into(),
+        caption: format!(
+            "open-loop latency under load ({} arrivals, zipf {:.2}, cap {})",
+            arrival.label(),
+            zipf_s,
+            cap
+        ),
+        cells,
+    };
+    (exp, reports)
+}
+
+/// [`loadcurve_with`] at the default sweep.
+pub fn loadcurve() -> (Experiment, Vec<RunReport>) {
+    loadcurve_with(&LoadCurveOpts::default())
 }
 
 /// Table I companion: verify the accelerator models agree with the

@@ -34,8 +34,14 @@ pub mod prom;
 pub mod report;
 pub mod uifd;
 
-pub use engine::{Engine, EngineConfig, FioSpec, Mode, Pattern, RwMode, TraceOp, IMAGE_BYTES};
+pub use engine::{
+    ArrivalOp, Engine, EngineConfig, FioSpec, Mode, OpenLoopRun, Pattern, RwMode, TraceOp,
+    IMAGE_BYTES,
+};
 pub use generation::Generation;
 pub use prom::prometheus_dump;
-pub use report::{PerfCounters, ResilienceCounters, RunReport, StageBreakdown, StageSpanReport};
+pub use report::{
+    LoadCurve, LoadPoint, PerfCounters, ResilienceCounters, RunReport, StageBreakdown,
+    StageSpanReport,
+};
 pub use uifd::Uifd;

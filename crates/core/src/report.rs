@@ -178,13 +178,55 @@ impl ResilienceCounters {
     }
 }
 
+/// One offered-load point of a latency-under-load sweep.
+///
+/// Every latency column is measured from the op's *intended arrival
+/// time* (the open-loop clock), not from submission — a stalled engine
+/// cannot make the numbers look better by admitting late (coordinated
+/// omission is impossible by construction).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct LoadPoint {
+    /// Offered load: intended arrivals per second, in thousands.
+    pub offered_kiops: f64,
+    /// Achieved completion rate over the run window, in thousands.
+    pub achieved_kiops: f64,
+    /// Mean latency from intended arrival, µs.
+    pub mean_us: f64,
+    /// Median latency from intended arrival, µs (interpolated).
+    pub p50_us: f64,
+    /// 99th-percentile latency from intended arrival, µs.
+    pub p99_us: f64,
+    /// 99.9th-percentile latency from intended arrival, µs.
+    pub p999_us: f64,
+    /// Ops admitted (intended arrivals that found admission-queue room).
+    pub admitted: u64,
+    /// Ops dropped at the admission queue (cap reached).
+    pub dropped: u64,
+}
+
+/// A throughput-vs-latency curve from an open-loop offered-load sweep.
+///
+/// Attached to [`RunReport`] only by the `loadcurve` experiment, so
+/// every other report's JSON is unchanged byte for byte.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct LoadCurve {
+    /// Arrival-process label (e.g. `"poisson"`).
+    pub arrival: String,
+    /// Zipf skew parameter of object selection (0 = uniform).
+    pub zipf_s: f64,
+    /// Admission-queue cap (max in-flight ops before drops).
+    pub admission_cap: u64,
+    /// Sweep points in offered-load order.
+    pub points: Vec<LoadPoint>,
+}
+
 /// The outcome of one engine run (one bar in one figure).
 ///
 /// `Serialize`/`Deserialize` are hand-written (mirroring exactly what
 /// the derive generates for the other fields) so the optional sections
-/// (`breakdown`, `counters`, `resilience`) are emitted only when
-/// present: baseline runs must serialize byte-identically to reports
-/// that predate each feature.
+/// (`breakdown`, `counters`, `resilience`, `load_curve`) are emitted
+/// only when present: baseline runs must serialize byte-identically to
+/// reports that predate each feature.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Configuration label, e.g. `"DeLiBA-K (HW, replication)"`.
@@ -215,6 +257,8 @@ pub struct RunReport {
     /// Fault-plane / resilience counters (present only when a fault
     /// schedule or resilience policy was active).
     pub resilience: Option<ResilienceCounters>,
+    /// Open-loop offered-load sweep (present only on `loadcurve` runs).
+    pub load_curve: Option<LoadCurve>,
 }
 
 impl Serialize for RunReport {
@@ -243,6 +287,9 @@ impl Serialize for RunReport {
         if self.resilience.is_some() {
             fields.push(("resilience".to_string(), self.resilience.serialize_value()));
         }
+        if self.load_curve.is_some() {
+            fields.push(("load_curve".to_string(), self.load_curve.serialize_value()));
+        }
         Value::Object(fields)
     }
 }
@@ -264,6 +311,7 @@ impl Deserialize for RunReport {
             breakdown: Deserialize::deserialize_value(field("breakdown"))?,
             counters: Deserialize::deserialize_value(field("counters"))?,
             resilience: Deserialize::deserialize_value(field("resilience"))?,
+            load_curve: Deserialize::deserialize_value(field("load_curve"))?,
         })
     }
 }
@@ -293,6 +341,7 @@ impl RunReport {
             breakdown: None,
             counters: None,
             resilience: None,
+            load_curve: None,
         }
     }
 
@@ -367,7 +416,7 @@ mod tests {
     fn optional_sections_omitted_when_absent_and_round_trip_when_present() {
         let r = sample_report();
         let json = serde_json::to_string(&r).unwrap();
-        for key in ["breakdown", "counters", "resilience"] {
+        for key in ["breakdown", "counters", "resilience", "load_curve"] {
             assert!(
                 !json.contains(key),
                 "absent {key} must not appear in baseline JSON: {json}"
@@ -422,6 +471,43 @@ mod tests {
         }
         let back: StageBreakdown = serde_json::from_str(&serde_json::to_string(&b).unwrap()).unwrap();
         assert_eq!(back, b);
+    }
+
+    #[test]
+    fn load_curve_round_trip_and_key_order() {
+        let mut r = sample_report();
+        r.load_curve = Some(LoadCurve {
+            arrival: "poisson".into(),
+            zipf_s: 0.9,
+            admission_cap: 256,
+            points: vec![LoadPoint {
+                offered_kiops: 8.0,
+                achieved_kiops: 7.9,
+                mean_us: 70.0,
+                p50_us: 66.0,
+                p99_us: 120.0,
+                p999_us: 180.0,
+                admitted: 2000,
+                dropped: 0,
+            }],
+        });
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"load_curve\""));
+        // Key order is declaration order, stable — and the section comes
+        // after every other optional section.
+        let order = [
+            "window_s", "load_curve", "arrival", "zipf_s", "admission_cap", "points",
+            "offered_kiops", "achieved_kiops", "mean_us", "p50_us", "p99_us", "p999_us",
+            "admitted", "dropped",
+        ];
+        let mut last = 0;
+        for key in order {
+            let pos = json.find(&format!("\"{key}\"")).expect(key);
+            assert!(pos >= last, "{key} out of order in {json}");
+            last = pos;
+        }
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

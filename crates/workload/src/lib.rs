@@ -20,13 +20,22 @@
 //! *think time* so the real-world workloads are only partially I/O-bound
 //! (that is what makes the paper's ≈30 % end-to-end reduction, rather
 //! than the raw 2–3× I/O speedup, the right expectation).
+//!
+//! The [`arrival`] module adds *open-loop* traffic on top: seeded
+//! arrival processes (Poisson, bursty MMPP, diurnal envelope) and
+//! Zipf-skewed block selection emitting `(intended_arrival_time, op)`
+//! streams for
+//! [`Engine::run_open_loop`](deliba_core::Engine::run_open_loop) —
+//! the latency-under-load methodology closed-loop fio cannot express.
 
+pub mod arrival;
 pub mod mixed;
 pub mod olap;
 pub mod oltp;
 pub mod trace;
 
+pub use arrival::{ArrivalKind, OpenLoopSpec, Zipf};
 pub use mixed::MixedSpec;
 pub use olap::OlapSpec;
 pub use oltp::OltpSpec;
-pub use trace::{load_trace, save_trace};
+pub use trace::{load_timed_trace, load_trace, save_timed_trace, save_trace};

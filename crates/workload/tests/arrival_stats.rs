@@ -1,0 +1,176 @@
+//! Statistical property tests for the open-loop generators: the
+//! arrival processes and the Zipf selector must match their theory
+//! across seeds, not just for one lucky constant.
+//!
+//! Tolerances are set from the sampling noise of each estimator (a few
+//! σ), so a distributional regression fails loudly while honest
+//! pseudo-random wobble does not.
+
+use deliba_sim::{SimDuration, Xoshiro256};
+use deliba_workload::{ArrivalKind, OpenLoopSpec, Zipf};
+use proptest::prelude::*;
+
+/// Interarrival gaps of a generated stream, in ns.
+fn gaps(spec: &OpenLoopSpec) -> Vec<f64> {
+    let s = spec.generate();
+    s.windows(2)
+        .map(|w| w[1].at.saturating_since(w[0].at).as_nanos() as f64)
+        .collect()
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Coefficient of variation: σ / mean.
+fn cv(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    var.sqrt() / m
+}
+
+/// Least-squares slope of y on x.
+fn slope(x: &[f64], y: &[f64]) -> f64 {
+    let (mx, my) = (mean(x), mean(y));
+    let num: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let den: f64 = x.iter().map(|a| (a - mx) * (a - mx)).sum();
+    num / den
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Poisson interarrivals: mean gap = 1/rate and CV = 1 (the
+    /// exponential's signature — a CV near 0 would mean a paced clock,
+    /// near 2 a bursty one).
+    #[test]
+    fn poisson_interarrival_mean_and_cv(seed in 0u64..1 << 32, rate_x10 in 10u64..400) {
+        let rate_kiops = rate_x10 as f64 / 10.0;
+        let spec = OpenLoopSpec {
+            rate_kiops,
+            ops: 4_000,
+            arrival: ArrivalKind::Poisson,
+            seed,
+            ..Default::default()
+        };
+        let g = gaps(&spec);
+        let expect_ns = 1e6 / rate_kiops;
+        // Sample mean of 4k exponentials: σ/√n ≈ 1.6 % of the mean.
+        prop_assert!(
+            (mean(&g) / expect_ns - 1.0).abs() < 0.08,
+            "seed {seed}: mean gap {} vs {}", mean(&g), expect_ns
+        );
+        let c = cv(&g);
+        prop_assert!((c - 1.0).abs() < 0.08, "seed {seed}: CV {c}");
+    }
+
+    /// Zipf rank-frequency: the log-log slope of sampled frequency vs
+    /// rank over the head of the distribution recovers −s.
+    #[test]
+    fn zipf_rank_frequency_slope(seed in 0u64..1 << 32, s_x100 in 60u64..130) {
+        let s = s_x100 as f64 / 100.0;
+        let z = Zipf::new(1024, s);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut counts = vec![0u64; 1024];
+        const N: u64 = 100_000;
+        for _ in 0..N {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // Head ranks only: each has ≥ hundreds of hits, so per-rank
+        // noise stays a few percent.
+        let (mut xs, mut ys) = (Vec::new(), Vec::new());
+        for (r, &count) in counts.iter().enumerate().take(24) {
+            prop_assert!(count > 0, "seed {seed}: empty head rank {r}");
+            xs.push(((r + 1) as f64).ln());
+            ys.push((count as f64).ln());
+        }
+        let m = slope(&xs, &ys);
+        prop_assert!(
+            (m + s).abs() < 0.12,
+            "seed {seed}: rank-frequency slope {m} vs theoretical {}", -s
+        );
+    }
+
+    /// The diurnal envelope integrates to the configured mean rate:
+    /// counting arrivals over whole envelope periods recovers the rate,
+    /// even though the instantaneous rate swings by ±depth.
+    #[test]
+    fn diurnal_envelope_integrates_to_mean_rate(seed in 0u64..1 << 32) {
+        let period = SimDuration::from_millis(40);
+        let rate_kiops = 20.0;
+        let spec = OpenLoopSpec {
+            rate_kiops,
+            ops: 8_000, // ≈ 400 ms ≈ 10 periods
+            arrival: ArrivalKind::Diurnal { period, depth: 0.8 },
+            seed,
+            ..Default::default()
+        };
+        let stream = spec.generate();
+        // Count arrivals inside the largest span of whole periods, so
+        // a partial period cannot bias the estimate either way.
+        let last = stream.last().unwrap().at.as_nanos();
+        let whole = last / period.as_nanos();
+        prop_assert!(whole >= 8, "seed {seed}: stream too short ({whole} periods)");
+        let span_ns = whole * period.as_nanos();
+        let n = stream.iter().filter(|a| a.at.as_nanos() < span_ns).count();
+        let measured_kiops = n as f64 / (span_ns as f64 / 1e9) / 1_000.0;
+        prop_assert!(
+            (measured_kiops / rate_kiops - 1.0).abs() < 0.08,
+            "seed {seed}: integrated rate {measured_kiops} vs {rate_kiops}"
+        );
+    }
+
+    /// The bursty (on-off MMPP) process preserves the configured
+    /// long-run mean rate, while its interarrival CV rises well above
+    /// the Poisson baseline of 1 — that is what "bursty" means.
+    #[test]
+    fn bursty_mean_rate_preserved_and_cv_elevated(seed in 0u64..1 << 32) {
+        let spec = OpenLoopSpec {
+            rate_kiops: 20.0,
+            ops: 20_000,
+            // Short sojourns so the ~1 s stream spans ~250 ON/OFF
+            // cycles — enough for the long-run mean to converge.
+            arrival: ArrivalKind::Bursty {
+                on_frac: 0.25,
+                on_mean: SimDuration::from_millis(1),
+            },
+            seed,
+            ..Default::default()
+        };
+        let g = gaps(&spec);
+        // 1e6 ns/ms over the mean gap in ns gives ops/ms = KIOPS.
+        let measured_kiops = 1e6 / mean(&g);
+        // ~250 ON/OFF cycles in the stream: the long-run mean converges
+        // slowly, so the tolerance is looser than Poisson's.
+        prop_assert!(
+            (measured_kiops / 20.0 - 1.0).abs() < 0.25,
+            "seed {seed}: long-run rate {measured_kiops}"
+        );
+        prop_assert!(cv(&g) > 1.3, "seed {seed}: CV {} not bursty", cv(&g));
+    }
+}
+
+/// The Zipf CDF itself (no sampling noise): mass of rank r is
+/// (r+1)^−s / H_{n,s} exactly, including at s = 1 where closed-form
+/// approximations break.
+#[test]
+fn zipf_exact_mass_at_s_equals_one() {
+    let n = 256u64;
+    let z = Zipf::new(n, 1.0);
+    let h: f64 = (1..=n).map(|r| 1.0 / r as f64).sum();
+    // Probe the CDF through sampling with a dense uniform sweep.
+    let mut hits = vec![0u64; n as usize];
+    let mut rng = Xoshiro256::seed_from_u64(99);
+    const N: u64 = 400_000;
+    for _ in 0..N {
+        hits[z.sample(&mut rng) as usize] += 1;
+    }
+    for r in [0usize, 1, 7, 63] {
+        let expect = 1.0 / ((r + 1) as f64 * h);
+        let got = hits[r] as f64 / N as f64;
+        assert!(
+            (got / expect - 1.0).abs() < 0.1,
+            "rank {r}: mass {got} vs {expect}"
+        );
+    }
+}
