@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! harness [experiment ...] [--json] [--out <path>] [--serial]
+//!         [--baseline <file>]
 //! harness trace [--trace-depth <off|spans|full>] [--out <dir>]
 //! harness loadcurve [--rate <kiops,...>] [--arrival <poisson|bursty|diurnal>]
 //!                   [--zipf-s <s>] [--admission-cap <n>] [--json] [--out <path>]
@@ -19,6 +20,10 @@
 //!
 //! --json           emit the results as JSON instead of text tables
 //! --out <path>     write the JSON to <path> (implies --json)
+//! --baseline <f>   diff every cell of this run against a previously
+//!                  saved harness JSON (e.g. BENCH_harness.json) and
+//!                  exit nonzero when any ev/s cell lost more than 20 %
+//!                  — the CI perf-ratchet (pairs with `perf`)
 //! --serial         run every sweep on one thread (also: DELIBA_JOBS=n)
 //! --trace-depth    recorder depth for `trace` (default: full; also the
 //!                  DELIBA_TRACE env var — the flag wins)
@@ -63,8 +68,110 @@ const KNOWN: &[&str] = &[
     "chaos", "trace", "loadcurve",
 ];
 
+/// The `--baseline` comparison: diff this run's cells against a
+/// previously saved harness JSON (the committed `BENCH_harness.json`),
+/// print per-cell deltas, and report whether any events-per-second cell
+/// regressed by more than 20 % — the tolerance wide enough for a shared
+/// CI box, tight enough to catch a real structural slowdown.
+///
+/// Cells are matched on `(experiment id, config, workload)`; baseline
+/// cells with no counterpart in this run are ignored (a renamed or
+/// retired cell is not a regression), and new cells print as such.
+/// Deltas go to stderr so `--json` stdout stays machine-parseable.
+fn compare_baseline(path: &str, results: &[Experiment]) -> bool {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let base: serde::Value = match serde_json::from_str(&body) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("baseline {path} is not harness JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    fn as_str(v: Option<&serde::Value>) -> &str {
+        match v {
+            Some(serde::Value::Str(s)) => s,
+            _ => "",
+        }
+    }
+    fn as_f64(v: Option<&serde::Value>) -> Option<f64> {
+        match v {
+            Some(serde::Value::Float(f)) => Some(*f),
+            Some(serde::Value::UInt(u)) => Some(*u as f64),
+            Some(serde::Value::Int(i)) => Some(*i as f64),
+            _ => None,
+        }
+    }
+    let serde::Value::Array(exps) = &base else {
+        eprintln!("baseline {path} is not a harness experiment array");
+        std::process::exit(1);
+    };
+    let mut old: std::collections::BTreeMap<(String, String, String), f64> =
+        std::collections::BTreeMap::new();
+    for exp in exps {
+        let id = as_str(exp.get("id"));
+        let Some(serde::Value::Array(cells)) = exp.get("cells") else { continue };
+        for cell in cells {
+            if let Some(m) = as_f64(cell.get("measured")) {
+                old.insert(
+                    (
+                        id.to_string(),
+                        as_str(cell.get("config")).to_string(),
+                        as_str(cell.get("workload")).to_string(),
+                    ),
+                    m,
+                );
+            }
+        }
+    }
+    const TOLERANCE: f64 = 0.20;
+    let mut regressed = false;
+    eprintln!("== baseline comparison vs {path}");
+    for exp in results {
+        for c in &exp.cells {
+            let key = (exp.id.clone(), c.config.clone(), c.workload.clone());
+            match old.get(&key) {
+                Some(&was) if was != 0.0 => {
+                    let delta = (c.measured - was) / was;
+                    // Only throughput cells gate: wall-clock and ratio
+                    // cells have their own dedicated CI assertions.
+                    let bad = c.unit == "ev/s" && delta < -TOLERANCE;
+                    regressed |= bad;
+                    eprintln!(
+                        "  {:28} {:38} {:>14.1} -> {:>14.1} {:>+8.1}% {}{}",
+                        c.config,
+                        c.workload,
+                        was,
+                        c.measured,
+                        delta * 100.0,
+                        c.unit,
+                        if bad { "  REGRESSION" } else { "" }
+                    );
+                }
+                _ => eprintln!(
+                    "  {:28} {:38} (new cell: {:.3} {})",
+                    c.config, c.workload, c.measured, c.unit
+                ),
+            }
+        }
+    }
+    if regressed {
+        eprintln!("baseline comparison FAILED: an ev/s cell regressed more than 20%");
+    } else {
+        eprintln!("baseline comparison passed (ev/s tolerance 20%)");
+    }
+    regressed
+}
+
 fn usage() -> ! {
-    eprintln!("usage: harness [experiment ...] [--json] [--out <path>] [--serial]");
+    eprintln!(
+        "usage: harness [experiment ...] [--json] [--out <path>] [--serial] [--baseline <file>]"
+    );
     eprintln!("       harness trace [--trace-depth <off|spans|full>] [--out <dir>]");
     eprintln!(
         "       harness loadcurve [--rate <kiops,...>] [--arrival <kind>] \
@@ -139,6 +246,7 @@ fn main() {
     let mut json = false;
     let mut serial = false;
     let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
     let mut trace_depth: Option<String> = None;
     let mut lc = LoadCurveOpts::default();
     let mut lc_flag_seen = false;
@@ -155,6 +263,13 @@ fn main() {
                 }
                 None => {
                     eprintln!("--out requires a path");
+                    usage();
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline = Some(p),
+                None => {
+                    eprintln!("--baseline requires a harness JSON path");
                     usage();
                 }
             },
@@ -254,6 +369,10 @@ fn main() {
 
     // `trace` is a file-emitting export with its own flags (`--out` is a
     // directory, not a JSON path), so it must run alone.
+    if expanded.iter().any(|w| w == "trace" || w == "loadcurve") && baseline.is_some() {
+        eprintln!("--baseline applies to figure-cell experiments (e.g. perf), not trace/loadcurve");
+        usage();
+    }
     if expanded.iter().any(|w| w == "trace") {
         if expanded.len() != 1 {
             eprintln!("`trace` runs alone (its --out is a directory, not a JSON path)");
@@ -322,6 +441,11 @@ fn main() {
                 }
             }
             None => println!("{body}"),
+        }
+    }
+    if let Some(path) = &baseline {
+        if compare_baseline(path, &results) {
+            std::process::exit(1);
         }
     }
 }

@@ -858,19 +858,34 @@ pub fn breakdown() -> Experiment {
 /// wall-clock is nondeterministic it is deliberately *excluded* from
 /// `harness all`, whose output must stay bit-reproducible.
 pub fn perf() -> Experiment {
-    use deliba_sim::{EventQueue, SimDuration, SimTime};
+    use deliba_sim::{EventQueue, ShardedEventQueue, SimDuration, SimTime};
     use std::time::Instant;
 
     // Reference workload: the Fig. 7 headline cell (DeLiBA-K hardware
     // path, replication, 4 kB random read) at 5× the usual cell budget.
-    let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication);
+    // Best of 3 fresh engines: the first run in a process pays one-time
+    // page-fault and allocator warmup (roughly 3× the steady-state wall
+    // on the CI box) that is not the engine's cost, and the run is
+    // deterministic so every repeat produces identical counters.
     let spec = FioSpec::paper(RwMode::Read, Pattern::Rand, 4096, 5 * CELL_OPS);
-    let mut e = Engine::new(cfg);
-    let t0 = Instant::now();
-    let r = e.run_fio(&spec);
-    let engine_wall = t0.elapsed().as_secs_f64();
-    assert_eq!(e.verify_failures(), 0);
-    let engine_evps = e.events_executed() as f64 / engine_wall.max(1e-9);
+    let mut engine_wall = f64::INFINITY;
+    let mut engine_events = 0u64;
+    let mut reference = None;
+    for _ in 0..3 {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication);
+        let mut e = Engine::new(cfg);
+        let t0 = Instant::now();
+        let r = e.run_fio(&spec);
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(e.verify_failures(), 0);
+        if wall < engine_wall {
+            engine_wall = wall;
+            engine_events = e.events_executed();
+        }
+        reference = Some(r);
+    }
+    let r = reference.expect("best-of-3 ran");
+    let engine_evps = engine_events as f64 / engine_wall.max(1e-9);
     let counters = r.counters.expect("engine reports carry counters");
     let fused_share = counters.fused_events as f64 / counters.events.max(1) as f64;
     let events_per_io = counters.events as f64 / r.ops.max(1) as f64;
@@ -936,6 +951,47 @@ pub fn perf() -> Experiment {
     let queue_wall = t0.elapsed().as_secs_f64();
     let queue_evps = CHURN as f64 / queue_wall.max(1e-9);
 
+    // Lane churn: the regime the engine's per-lane sub-queues live in.
+    // Each of 32 lanes carries a deep stream of completions with a
+    // stable per-lane service delta, so successive pushes into one lane
+    // ascend in time — the sharded queue appends them in O(1) behind a
+    // 32-entry frontier, where the single heap sifts every event through
+    // a 4096-deep heap.  Both structures run the identical event stream;
+    // the speedup cell is their ratio.
+    const LANES: usize = 32;
+    const LANE_DEPTH: u64 = 128;
+    let lane_delta = |lane: usize| SimDuration::from_nanos(1 + ((lane as u64 * 137) & 1023));
+    let lane_churn_single = || -> f64 {
+        let mut q: EventQueue<u64> = EventQueue::with_capacity(LANES * LANE_DEPTH as usize);
+        for i in 0..LANES as u64 * LANE_DEPTH {
+            q.schedule_at(SimTime::from_nanos(i), i);
+        }
+        let t0 = Instant::now();
+        for _ in 0..CHURN {
+            let (at, v) = q.pop().expect("queue stays populated");
+            q.schedule_at(at + lane_delta(v as usize % LANES), v);
+        }
+        CHURN as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    };
+    let lane_churn_sharded = || -> f64 {
+        let mut q: ShardedEventQueue<u64> = ShardedEventQueue::new(LANES);
+        for i in 0..LANES as u64 * LANE_DEPTH {
+            q.schedule_at(i as usize % LANES, SimTime::from_nanos(i), i);
+        }
+        let t0 = Instant::now();
+        for _ in 0..CHURN {
+            let (at, v) = q.pop().expect("queue stays populated");
+            let lane = v as usize % LANES;
+            q.schedule_at(lane, at + lane_delta(lane), v);
+        }
+        CHURN as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    };
+    // Best of 3 each — a scheduler hiccup in either leg would fake a
+    // ratio shift in both directions.
+    let lane_single_evps = (0..3).map(|_| lane_churn_single()).fold(0.0, f64::max);
+    let sharded_evps = (0..3).map(|_| lane_churn_sharded()).fold(0.0, f64::max);
+    let sharded_speedup = sharded_evps / lane_single_evps.max(1e-9);
+
     Experiment {
         id: "perf".into(),
         caption: "harness perf gate: wall-clock + events/sec on the reference workload".into(),
@@ -961,9 +1017,13 @@ pub fn perf() -> Experiment {
                 measured: events_per_io,
                 paper: None,
             },
+            // Relabelled from the ambiguous "fused event share": this is
+            // the deep-queue reference cell whose share is 0.0 *by
+            // design* (see the comment above fused_share_qd1) — the
+            // label now says which regime it measures.
             Cell {
                 config: "fused fast path".into(),
-                workload: "fused event share".into(),
+                workload: "fused event share (deep qd)".into(),
                 unit: "frac",
                 measured: fused_share,
                 paper: None,
@@ -1008,6 +1068,27 @@ pub fn perf() -> Experiment {
                 workload: "schedule/pop churn".into(),
                 unit: "ev/s",
                 measured: queue_evps,
+                paper: None,
+            },
+            Cell {
+                config: "sharded queue".into(),
+                workload: "lane churn (single heap)".into(),
+                unit: "ev/s",
+                measured: lane_single_evps,
+                paper: None,
+            },
+            Cell {
+                config: "sharded queue".into(),
+                workload: "lane churn (sharded)".into(),
+                unit: "ev/s",
+                measured: sharded_evps,
+                paper: None,
+            },
+            Cell {
+                config: "sharded queue".into(),
+                workload: "sharded queue speedup".into(),
+                unit: "x",
+                measured: sharded_speedup,
                 paper: None,
             },
             Cell {

@@ -236,6 +236,18 @@ impl Cluster {
         self.osds.len()
     }
 
+    /// Minimum service time any OSD in the cluster can charge (see
+    /// [`OsdProfile::service_floor`]) — the cluster's contribution to
+    /// the conservative event-queue lookahead.  Re-derive after any
+    /// change to the OSD population or profiles.
+    pub fn min_service_floor(&self) -> SimDuration {
+        self.osds
+            .iter()
+            .map(|o| o.profile().service_floor())
+            .min()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
     /// Inject an OSD failure.
     pub fn fail_osd(&mut self, osd: i32) {
         self.osds[osd as usize].set_up(false);

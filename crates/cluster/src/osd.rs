@@ -71,7 +71,15 @@ impl OsdProfile {
                 self.random_read_penalty_ns
             };
         }
-        SimDuration::from_nanos((ns as f64 * (1.0 + jitter)).round() as u64)
+        SimDuration::from_nanos(deliba_sim::round_nonneg(ns as f64 * (1.0 + jitter)))
+    }
+
+    /// Lower bound on any service time this profile can produce: the
+    /// fixed software overhead plus the cheaper media latency (jitter is
+    /// nonnegative and every other term only adds).  The cluster's
+    /// contribution to the conservative event-queue lookahead.
+    pub fn service_floor(&self) -> SimDuration {
+        SimDuration::from_nanos(self.op_overhead_ns + self.read_media_ns.min(self.write_media_ns))
     }
 }
 
@@ -106,6 +114,11 @@ impl Osd {
     /// Is the OSD serving?
     pub fn is_up(&self) -> bool {
         self.up
+    }
+
+    /// The service-time profile.
+    pub fn profile(&self) -> &OsdProfile {
+        &self.profile
     }
 
     /// Mark the daemon down (failure injection).

@@ -69,6 +69,19 @@ pub struct PoolConfig {
     pub pg_num: u32,
     /// CRUSH rule executed for this pool's PGs.
     pub crush_rule: u32,
+    /// Precomputed [`PoolConfig::pg_seed`] per PG sequence number.  The
+    /// seed depends only on `(seq, id)`, both fixed at construction, so
+    /// the hash is evaluated once here instead of per placement lookup
+    /// on the engine's hot path.  Entries are produced by the same
+    /// `hash32_2` call the accessor used to make inline — bit-identical
+    /// by construction.
+    pg_seeds: Vec<u32>,
+}
+
+fn seed_table(id: u32, pg_num: u32) -> Vec<u32> {
+    (0..pg_num)
+        .map(|seq| hash32_2(seq, id.wrapping_mul(0x9E37_79B9)))
+        .collect()
 }
 
 impl PoolConfig {
@@ -82,6 +95,7 @@ impl PoolConfig {
             kind: PoolKind::Replicated { size },
             pg_num,
             crush_rule,
+            pg_seeds: seed_table(id, pg_num),
         }
     }
 
@@ -95,6 +109,7 @@ impl PoolConfig {
             kind: PoolKind::Erasure { k, m },
             pg_num,
             crush_rule,
+            pg_seeds: seed_table(id, pg_num),
         }
     }
 
@@ -112,7 +127,12 @@ impl PoolConfig {
     /// The CRUSH input for a PG: mixes pool and PG so distinct pools'
     /// PGs decorrelate.
     pub fn pg_seed(&self, pg: PgId) -> u32 {
-        hash32_2(pg.seq, self.id.wrapping_mul(0x9E37_79B9))
+        match self.pg_seeds.get(pg.seq as usize) {
+            Some(&s) => s,
+            // Out-of-range seq (a foreign or corrupted PgId) falls back
+            // to the defining hash so behaviour is unchanged.
+            None => hash32_2(pg.seq, self.id.wrapping_mul(0x9E37_79B9)),
+        }
     }
 }
 
@@ -175,5 +195,18 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn pg_num_validated() {
         PoolConfig::replicated(0, "x", 3, 100, 0);
+    }
+
+    #[test]
+    fn seed_table_matches_hash() {
+        let pool = PoolConfig::erasure(5, "ec", 4, 2, 256, 1);
+        for seq in 0..300u32 {
+            // In-range seqs hit the table, out-of-range the fallback;
+            // both must equal the defining hash.
+            assert_eq!(
+                pool.pg_seed(PgId { pool: 5, seq }),
+                hash32_2(seq, 5u32.wrapping_mul(0x9E37_79B9))
+            );
+        }
     }
 }

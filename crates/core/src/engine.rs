@@ -27,8 +27,8 @@ use deliba_fpga::{AlveoU280, RmId};
 use deliba_net::{LinkVerdict, TcpStack};
 use deliba_qdma::PciePipes;
 use deliba_sim::{
-    Counter, EventQueue, Histogram, InstantKind, Server, SimDuration, SimRng, SimTime, Stage,
-    StageTracer, TraceDepth, TraceHandle, TraceLayer, Xoshiro256,
+    Counter, Histogram, InstantKind, LaneQueue, Server, SimDuration, SimRng, SimTime, Stage,
+    StageTracer, TraceDepth, TraceHandle, TraceLayer, WindowStats, Xoshiro256,
 };
 use std::collections::BTreeMap;
 
@@ -369,6 +369,9 @@ pub struct Engine {
     faults: Option<FaultPlane>,
     /// Engine-side resilience counters (retries, timeouts, failovers…).
     res: ResilienceCounters,
+    /// Conservative time-window accounting from the most recent run
+    /// (zeros when the sharded queue is disabled).
+    windows: WindowStats,
     /// The card is faulted: route I/O over the software host path.
     fpga_down: bool,
     /// When the outstanding card fault began (time-to-recover basis).
@@ -424,6 +427,7 @@ impl Engine {
             fused: 0,
             faults: None,
             res: ResilienceCounters::default(),
+            windows: WindowStats::default(),
             fpga_down: false,
             card_fault_at: None,
             trace,
@@ -497,6 +501,33 @@ impl Engine {
         self.fused
     }
 
+    /// Conservative time-window accounting of the most recent run:
+    /// windows opened and events drained below an already-committed
+    /// horizon.  Zeros when the sharded queue is disabled
+    /// (`DELIBA_NO_SHARDED_QUEUE`).  Not part of any `RunReport` —
+    /// ordering never depends on the windows, so the stats are a
+    /// diagnostic, not an output.
+    pub fn window_stats(&self) -> WindowStats {
+        self.windows
+    }
+
+    /// The conservative event-queue lookahead in force at `at`: the
+    /// minimum link propagation plus the cluster's service-time floor —
+    /// no event can schedule a successor closer than that — shrunk to
+    /// propagation-only while a fault-plane degrade window is active
+    /// (a dropped frame's deadline detection skips the service path).
+    /// Re-derived at run start and after every fault-plane mutation;
+    /// the lookahead gates only window statistics, never pop order.
+    fn derive_lookahead(&self, at: SimTime) -> SimDuration {
+        let prop = self.cluster.topology().min_propagation();
+        let degraded = self.faults.as_ref().is_some_and(|p| p.degrades_timing_at(at));
+        if degraded {
+            prop
+        } else {
+            prop + self.cluster.min_service_floor()
+        }
+    }
+
     /// Placement-cache counters of the engine's cluster map.
     pub fn placement_cache_stats(&self) -> deliba_crush::CacheStats {
         self.cluster.map().placement_cache_stats()
@@ -567,12 +598,16 @@ impl Engine {
     /// processed event times are monotone nondecreasing (the fused fast
     /// path only fires when strictly earlier than the heap head), so
     /// sweeping "due at ≤ now" at each op fires every fault exactly once,
-    /// in order, at the first op that reaches its instant.
-    fn apply_due_faults(&mut self, now: SimTime) {
+    /// in order, at the first op that reaches its instant.  Returns
+    /// whether anything fired, so callers re-derive the event-queue
+    /// lookahead exactly when a mutation could have changed it.
+    fn apply_due_faults(&mut self, now: SimTime) -> bool {
+        let mut fired = false;
         loop {
             let Some(kind) = self.faults.as_mut().and_then(|p| p.due(now)) else {
-                return;
+                return fired;
             };
+            fired = true;
             match kind {
                 FaultKind::OsdCrash { osd } => {
                     // mark_osd_down bumps the map epoch: the placement
@@ -1121,14 +1156,19 @@ impl Engine {
         let mut cursors: Vec<usize> = vec![0; jobs.len()];
         // Completion tokens: one event per outstanding I/O, FIFO at equal
         // timestamps (the queue's internal sequence number is the
-        // tiebreak, exactly as the explicit counter used to be).
-        let mut queue: EventQueue<Token> =
-            EventQueue::with_capacity(jobs.len() * iodepth as usize);
+        // tiebreak, exactly as the explicit counter used to be).  Sharded
+        // one shard per lane — a lane's completion reschedules its own
+        // shard, so the common schedule/pop pair is a root rewrite plus
+        // one sift over the lane frontier.
+        let lanes = (jobs.len() * iodepth as usize).max(1);
+        let mut queue: LaneQueue<Token> = LaneQueue::new(lanes, lanes);
+        queue.set_lookahead(self.derive_lookahead(SimTime::ZERO));
         for (j, ops) in jobs.iter().enumerate() {
             let tokens = (iodepth as usize).min(ops.len());
             for k in 0..tokens {
                 let lane = (j * iodepth as usize + k) as u32;
                 queue.schedule_at(
+                    lane as usize,
                     SimTime::from_nanos(100 * lane as u64),
                     Token::Slot { job: j as u32, lane },
                 );
@@ -1143,8 +1183,8 @@ impl Engine {
         let mut next = queue.pop();
         while let Some((ready, token)) = next {
             self.events += 1;
-            if self.faults.is_some() {
-                self.apply_due_faults(ready);
+            if self.faults.is_some() && self.apply_due_faults(ready) {
+                queue.set_lookahead(self.derive_lookahead(ready));
             }
             let (ready, job, lane, io, op, attempt, first_start) = match token {
                 Token::Slot { job, lane } => {
@@ -1174,7 +1214,11 @@ impl Engine {
                     // The op waits out its backoff on the event queue —
                     // its queue-depth slot stays held, but no shared
                     // resource timeline advances on its behalf.
-                    queue.schedule_at(at, Token::Retry { job, lane, io, op, attempt, first_start });
+                    queue.schedule_at(
+                        lane as usize,
+                        at,
+                        Token::Retry { job, lane, io, op, attempt, first_start },
+                    );
                     next = queue.pop();
                     continue;
                 }
@@ -1197,8 +1241,14 @@ impl Engine {
             // in place and skip the schedule/pop.
             match queue.peek_time() {
                 Some(head) if head <= complete => {
-                    queue.schedule_at(complete, Token::Slot { job, lane });
-                    next = queue.pop();
+                    // Push-pop fused: the queue rewrites its root in
+                    // place (the head pops first — its seq is smaller),
+                    // identical in pop order to schedule_at + pop.
+                    next = Some(queue.schedule_at_then_pop(
+                        lane as usize,
+                        complete,
+                        Token::Slot { job, lane },
+                    ));
                 }
                 _ => {
                     self.fused += 1;
@@ -1206,6 +1256,7 @@ impl Engine {
                 }
             }
         }
+        self.windows = queue.window_stats();
         let window = last_complete.saturating_since(SimTime::ZERO);
         let mut report = RunReport::new(
             self.cfg.label(),
@@ -1253,10 +1304,15 @@ impl Engine {
         );
         let mut hist = Histogram::new();
         let mut counter = Counter::new();
-        // The heap never holds more than the in-flight completions, the
+        // The queue never holds more than the in-flight completions, the
         // retries riding out their backoff, and the one next arrival.
-        let mut queue: EventQueue<OpenToken> =
-            EventQueue::with_capacity(admission_cap as usize + 8);
+        // Shards: one per submission context (settles and retries land
+        // on their op's lane) plus a dedicated shard for the arrival
+        // cursor's self-rescheduling chain.
+        let arrive_shard = self.contexts.len();
+        let mut queue: LaneQueue<OpenToken> =
+            LaneQueue::new(arrive_shard + 1, admission_cap as usize + 8);
+        queue.set_lookahead(self.derive_lookahead(SimTime::ZERO));
         let mut cursor = 0usize;
         let mut inflight: u32 = 0;
         let mut admitted: u64 = 0;
@@ -1265,19 +1321,23 @@ impl Engine {
         let sample_counters = self.trace.full();
         let mut last_complete = SimTime::ZERO;
         if !stream.is_empty() {
-            queue.schedule_at(stream[0].at, OpenToken::Arrive);
+            queue.schedule_at(arrive_shard, stream[0].at, OpenToken::Arrive);
         }
         while let Some((now, token)) = queue.pop() {
             self.events += 1;
-            if self.faults.is_some() {
-                self.apply_due_faults(now);
+            if self.faults.is_some() && self.apply_due_faults(now) {
+                queue.set_lookahead(self.derive_lookahead(now));
             }
             let (lane, io, op, attempt, first_start, intended) = match token {
                 OpenToken::Arrive => {
                     let op = stream[cursor].op;
                     cursor += 1;
                     if cursor < stream.len() {
-                        queue.schedule_at(stream[cursor].at.max(now), OpenToken::Arrive);
+                        queue.schedule_at(
+                            arrive_shard,
+                            stream[cursor].at.max(now),
+                            OpenToken::Arrive,
+                        );
                     }
                     if inflight >= admission_cap {
                         // Admission queue full: the op is refused at its
@@ -1314,16 +1374,22 @@ impl Engine {
             }
             match self.do_io(now, lane, op, attempt, first_start) {
                 IoDisposition::Done { complete, .. } => {
-                    queue.schedule_at(complete, OpenToken::Settle { intended, len: op.len });
+                    queue.schedule_at(
+                        lane as usize,
+                        complete,
+                        OpenToken::Settle { intended, len: op.len },
+                    );
                 }
                 IoDisposition::Retry { at, attempt, first_start } => {
                     queue.schedule_at(
+                        lane as usize,
                         at,
                         OpenToken::Retry { lane, io, op, attempt, first_start, intended },
                     );
                 }
             }
         }
+        self.windows = queue.window_stats();
         // Offered load is empirical — intended arrivals over the span of
         // the stream — so replayed traces report their true rate without
         // needing a configured one.

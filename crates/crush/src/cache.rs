@@ -10,12 +10,15 @@
 //! in/out, DFX bucket-algorithm swap), and a cached entry is only served
 //! while its recorded epoch matches the live one.
 //!
-//! The table is open-addressed and direct-mapped: one slot per hashed
-//! key, overwrite on collision.  Placement workloads have a tiny working
-//! set (a pool has `pg_num` placement groups, so at most `pg_num`
-//! distinct `(rule, x)` keys), so a modest power-of-two table gives a
-//! steady-state hit rate above 99 % with zero probing loops on the hot
-//! path.
+//! The table is open-addressed and 2-way set-associative: each hashed
+//! key owns a set of two ways, filled LRU on a miss.  Placement
+//! workloads have a tiny working set (a pool has `pg_num` placement
+//! groups, so at most `pg_num` distinct `(rule, x)` keys), but a
+//! direct-mapped table left a handful of colliding key pairs
+//! alternate-evicting each other forever — and at ~15 µs per straw2
+//! re-walk those few hundred conflict misses per run dominated the
+//! closed-loop wall clock.  Two ways absorb every pairwise conflict at
+//! the cost of one extra compare on the probe path.
 
 use crate::map::DeviceId;
 
@@ -58,11 +61,14 @@ struct Slot {
     devices: Vec<DeviceId>,
 }
 
-/// A direct-mapped memo table for CRUSH rule executions, keyed by
-/// `(rule, x, num, epoch)`.
+/// A 2-way set-associative memo table for CRUSH rule executions, keyed
+/// by `(rule, x, num, epoch)`.
 #[derive(Debug, Clone)]
 pub struct PlacementCache {
+    /// Set `i` occupies `slots[2*i]` and `slots[2*i + 1]`.
     slots: Vec<Option<Slot>>,
+    /// Per-set LRU way (the victim of the next fill in that set).
+    lru: Vec<u8>,
     mask: usize,
     enabled: bool,
     stats: CacheStats,
@@ -70,12 +76,14 @@ pub struct PlacementCache {
 
 impl PlacementCache {
     /// A cache with `capacity` slots (rounded up to a power of two,
-    /// minimum 16).  Honors [`DISABLE_ENV`].
+    /// minimum 16), organized as `capacity / 2` two-way sets.  Honors
+    /// [`DISABLE_ENV`].
     pub fn new(capacity: usize) -> Self {
         let cap = capacity.max(16).next_power_of_two();
         PlacementCache {
             slots: vec![None; cap],
-            mask: cap - 1,
+            lru: vec![0; cap / 2],
+            mask: cap / 2 - 1,
             enabled: std::env::var_os(DISABLE_ENV).is_none(),
             stats: CacheStats::default(),
         }
@@ -102,9 +110,9 @@ impl PlacementCache {
         self.stats
     }
 
-    fn index(&self, rule: u32, x: u32, num: u32) -> usize {
+    fn set_of(&self, rule: u32, x: u32, num: u32) -> usize {
         // Fibonacci-style mix of the three key words; the epoch is
-        // deliberately not hashed so a bump lands on the same slot and is
+        // deliberately not hashed so a bump lands on the same set and is
         // observable as an invalidation rather than a plain miss.
         let mut h = (x as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         h ^= (rule as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
@@ -133,21 +141,35 @@ impl PlacementCache {
             return;
         }
         let num32 = num as u32;
-        let i = self.index(rule, x, num32);
-        if let Some(slot) = &self.slots[i] {
-            if slot.rule == rule && slot.x == x && slot.num == num32 {
-                if slot.epoch == epoch {
-                    self.stats.hits += 1;
-                    out.extend_from_slice(&slot.devices);
-                    return;
+        let set = self.set_of(rule, x, num32);
+        // Probe both ways; a key match (hit or stale) claims its way, so
+        // a refill after an epoch bump overwrites in place instead of
+        // evicting the set's other resident.
+        let mut victim = None;
+        for way in 0..2 {
+            let i = 2 * set + way;
+            if let Some(slot) = &self.slots[i] {
+                if slot.rule == rule && slot.x == x && slot.num == num32 {
+                    if slot.epoch == epoch {
+                        self.stats.hits += 1;
+                        out.extend_from_slice(&slot.devices);
+                        self.lru[set] = (way ^ 1) as u8;
+                        return;
+                    }
+                    self.stats.invalidations += 1;
+                    victim = Some(way);
+                    break;
                 }
-                self.stats.invalidations += 1;
+            } else if victim.is_none() {
+                victim = Some(way);
             }
         }
         self.stats.misses += 1;
         let devices = compute();
         out.extend_from_slice(&devices);
-        self.slots[i] = Some(Slot {
+        let way = victim.unwrap_or(self.lru[set] as usize);
+        self.lru[set] = (way ^ 1) as u8;
+        self.slots[2 * set + way] = Some(Slot {
             rule,
             x,
             num: num32,
@@ -219,6 +241,30 @@ mod tests {
         }
         let s = c.stats();
         assert_eq!(s.hits + s.misses, 500);
+    }
+
+    #[test]
+    fn any_conflicting_pair_reaches_steady_state_hits() {
+        // The failure mode the associativity exists to kill: two keys
+        // hashing to the same set must not alternate-evict each other.
+        // With two ways, any pair settles into all-hits after warmup —
+        // for every pair, including the ones that do collide.
+        for x in 1..64u32 {
+            let mut c = PlacementCache::new(16);
+            c.set_enabled(true);
+            for _ in 0..4 {
+                run(&mut c, 0, 0, 3, 1);
+                run(&mut c, 0, x, 3, 1);
+            }
+            let before = c.stats();
+            for _ in 0..8 {
+                run(&mut c, 0, 0, 3, 1);
+                run(&mut c, 0, x, 3, 1);
+            }
+            let after = c.stats();
+            assert_eq!(after.misses, before.misses, "pair (0, {x}) thrashes");
+            assert_eq!(after.hits, before.hits + 16);
+        }
     }
 
     #[test]

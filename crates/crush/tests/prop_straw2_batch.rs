@@ -1,0 +1,122 @@
+//! Property test: the batched SoA Straw2 walk is invisible.
+//!
+//! `Bucket::select` (Straw2) streams a packed nonzero-weight SoA batch
+//! with a table-looked-up ln; `Bucket::select_straw2_scalar` is the
+//! original skip-tested scalar walk kept verbatim as the reference.
+//! For any bucket shape, any weight assignment (zeros included), and
+//! any churn sequence — reweights, item removal and re-addition,
+//! algorithm swaps away from Straw2 and back — the two walks must agree
+//! item-for-item on every `(x, r)` draw.  This is the contract that
+//! lets the engine's placement path use the batch without changing a
+//! single simulated byte.
+
+use deliba_crush::{Bucket, BucketAlg, WEIGHT_ONE};
+use proptest::prelude::*;
+
+const MAX_ITEMS: usize = 24;
+
+/// One step of bucket churn.
+#[derive(Debug, Clone)]
+enum Churn {
+    /// Reweight the item in `slot` (zero allowed — the batch must drop
+    /// it, the scalar walk must skip it).
+    Reweight { slot: usize, weight: u32 },
+    /// Remove the item in `slot`, then append it back at `weight`
+    /// (membership churn moves the item to the tail, shifting the
+    /// first-max tie-break order identically for both walks).
+    RemoveAdd { slot: usize, weight: u32 },
+    /// Swap the bucket off Straw2 and back — the SoA batch must be
+    /// repacked from scratch by the second rebuild.
+    SwapAlg { via: BucketAlg },
+}
+
+fn churn_step() -> impl Strategy<Value = Churn> {
+    prop_oneof![
+        (0..MAX_ITEMS, 0u32..=2 * WEIGHT_ONE)
+            .prop_map(|(slot, weight)| Churn::Reweight { slot, weight }),
+        (0..MAX_ITEMS, 1u32..=2 * WEIGHT_ONE)
+            .prop_map(|(slot, weight)| Churn::RemoveAdd { slot, weight }),
+        prop_oneof![
+            Just(BucketAlg::List),
+            Just(BucketAlg::Tree),
+            Just(BucketAlg::Straw),
+        ]
+        .prop_map(|via| Churn::SwapAlg { via }),
+    ]
+}
+
+/// Every draw in a deterministic grid of inputs must agree.
+fn check_walks_agree(b: &Bucket, xs: &[u32]) {
+    for &x in xs {
+        for r in 0..6 {
+            assert_eq!(
+                b.select(x, r),
+                b.select_straw2_scalar(x, r),
+                "x={x} r={r} items={:?} weights={:?}",
+                b.items(),
+                b.weights()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn batched_straw2_matches_scalar_through_churn(
+        weights in proptest::collection::vec(0u32..=2 * WEIGHT_ONE, 1..MAX_ITEMS + 1),
+        steps in proptest::collection::vec(churn_step(), 0..10),
+        xs in proptest::collection::vec(any::<u32>(), 4..8),
+    ) {
+        let items: Vec<i32> = (0..weights.len() as i32).collect();
+        let mut b = Bucket::new(-1, BucketAlg::Straw2, 1, items, weights);
+        check_walks_agree(&b, &xs);
+        for step in steps {
+            match step {
+                Churn::Reweight { slot, weight } => {
+                    let item = b.items()[slot % b.len()];
+                    prop_assert!(b.reweight_item(item, weight).is_some());
+                }
+                Churn::RemoveAdd { slot, weight } => {
+                    // Never empty the bucket: a one-item bucket keeps
+                    // its member and only the weight changes.
+                    let item = b.items()[slot % b.len()];
+                    if b.len() > 1 {
+                        prop_assert!(b.remove_item(item).is_some());
+                        b.add_item(item, weight);
+                    } else {
+                        prop_assert!(b.reweight_item(item, weight).is_some());
+                    }
+                }
+                Churn::SwapAlg { via } => {
+                    b.set_alg(via);
+                    b.set_alg(BucketAlg::Straw2);
+                }
+            }
+            check_walks_agree(&b, &xs);
+        }
+    }
+
+    /// All weights zero: `select` bails on zero total weight, and the
+    /// scalar walk skips every item — both must answer `None` for every
+    /// draw, before and after the weights come back.
+    #[test]
+    fn zero_weight_bucket_agrees(
+        n in 1usize..=MAX_ITEMS,
+        x in any::<u32>(),
+        revive in 1u32..=WEIGHT_ONE,
+    ) {
+        let items: Vec<i32> = (0..n as i32).collect();
+        let mut b = Bucket::new(-1, BucketAlg::Straw2, 1, items, vec![0; n]);
+        for r in 0..4 {
+            prop_assert_eq!(b.select(x, r), None);
+            prop_assert_eq!(b.select_straw2_scalar(x, r), None);
+        }
+        prop_assert!(b.reweight_item(0, revive).is_some());
+        for r in 0..4 {
+            prop_assert_eq!(b.select(x, r), Some(0));
+            prop_assert_eq!(b.select(x, r), b.select_straw2_scalar(x, r));
+        }
+    }
+}

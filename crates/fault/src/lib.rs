@@ -279,6 +279,16 @@ impl FaultPlane {
         !p.is_healthy()
     }
 
+    /// Does any degrade window cover `at`?  While an unhealthy link or
+    /// DMA profile is in force, an event's successors can arrive on a
+    /// retry/backoff path whose timing floor is only the propagation
+    /// delay (the service floor no longer lower-bounds a dropped
+    /// frame's detection), so the engine shrinks its conservative
+    /// event-queue lookahead to propagation-only for the duration.
+    pub fn degrades_timing_at(&self, at: SimTime) -> bool {
+        !self.link_profile_at(at).is_healthy() || !self.dma_profile_at(at).is_healthy()
+    }
+
     /// Pop the next scheduled fault due at or before `now`, advancing
     /// the cursor.  Call in a loop to drain all due events.
     pub fn due(&mut self, now: SimTime) -> Option<FaultKind> {

@@ -24,7 +24,7 @@ impl ClockDomain {
 
     /// Duration of `cycles` clock cycles.
     pub fn cycles(&self, cycles: u64) -> SimDuration {
-        SimDuration::from_nanos((cycles as f64 * self.period_ns()).round() as u64)
+        SimDuration::from_nanos(deliba_sim::round_nonneg(cycles as f64 * self.period_ns()))
     }
 
     /// How many whole cycles fit in `d` (rounded up — hardware cannot

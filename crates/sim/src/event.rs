@@ -167,6 +167,43 @@ impl<E> EventQueue<E> {
         self.heap.first().map(|e| e.at)
     }
 
+    /// Semantically `schedule_at(at, payload)` followed by
+    /// `pop().unwrap()`, fused.  When the current root pops (it does
+    /// whenever `root.at <= at` — the incoming event carries the
+    /// largest seq, so it never wins a tie), the new payload reuses the
+    /// root's arena slot and a single `sift_down` replaces the push's
+    /// `sift_up` plus the pop's `swap_remove` + free-list round trip.
+    ///
+    /// # Panics
+    /// Panics if `at` lies in the past.
+    pub fn schedule_at_then_pop(&mut self, at: SimTime, payload: E) -> (SimTime, E) {
+        assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        match self.heap.first() {
+            Some(root) if root.at <= at => {
+                let root = *root;
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                let out = self.slots[root.slot as usize]
+                    .replace(payload)
+                    .expect("heap entry points at a live slot");
+                self.heap[0] = Entry { at, seq, slot: root.slot };
+                self.sift_down(0);
+                debug_assert!(root.at >= self.now, "clock went backwards");
+                self.now = root.at;
+                (root.at, out)
+            }
+            _ => {
+                // The new event is the global minimum (or the queue is
+                // empty): it comes straight back without entering the
+                // heap.  A seq is still consumed to keep numbering in
+                // step with the unfused schedule + pop pair.
+                self.next_seq += 1;
+                self.now = at;
+                (at, payload)
+            }
+        }
+    }
+
     fn pop_root(&mut self) -> (SimTime, E) {
         let root = self.heap.swap_remove(0);
         if !self.heap.is_empty() {
@@ -422,6 +459,35 @@ mod tests {
         }
         assert_eq!(q.arena_slots(), 8, "slots recycled, not leaked");
         assert_eq!(q.len(), 8);
+    }
+
+    #[test]
+    fn schedule_at_then_pop_matches_unfused_pair() {
+        use crate::rng::{SimRng, Xoshiro256};
+        let mut rng = Xoshiro256::seed_from_u64(0xF05E);
+        let mut fused: EventQueue<u64> = EventQueue::new();
+        let mut plain: EventQueue<u64> = EventQueue::new();
+        let mut id = 0u64;
+        for i in 0..8u64 {
+            fused.schedule_at(SimTime(i * 3), id);
+            plain.schedule_at(SimTime(i * 3), id);
+            id += 1;
+        }
+        for _ in 0..2000 {
+            let at = plain.now() + SimDuration(rng.gen_range(6));
+            let a = fused.schedule_at_then_pop(at, id);
+            plain.schedule_at(at, id);
+            let b = plain.pop().unwrap();
+            assert_eq!(a, b);
+            id += 1;
+        }
+        loop {
+            let (a, b) = (fused.pop(), plain.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time;
 //! * [`EventQueue`] and [`Simulator`] — a deterministic event loop with
 //!   stable FIFO ordering for simultaneous events;
+//! * [`sharded`] — the per-lane sharded queue with conservative
+//!   time-windows ([`ShardedEventQueue`]) and the [`LaneQueue`] facade
+//!   whose kill switch swaps the single heap back in; pop order is
+//!   byte-identical either way;
 //! * [`rng`] — small, fast, seedable PRNGs (`SplitMix64`, `Xoshiro256`)
 //!   used wherever the simulation needs randomness that must not depend on
 //!   platform or `std` hash ordering;
@@ -31,14 +35,16 @@ pub mod event;
 pub mod metrics;
 pub mod resource;
 pub mod rng;
+pub mod sharded;
 pub mod stage;
 pub mod time;
 pub mod trace;
 
 pub use event::{EventQueue, Simulator};
+pub use sharded::{LaneQueue, ShardedEventQueue, WindowStats};
 pub use metrics::{Counter, Histogram, Summary};
 pub use stage::{Stage, StageTracer};
 pub use trace::{InstantKind, TraceDepth, TraceHandle, TraceLayer};
 pub use resource::{Bandwidth, MultiServer, Server, TokenBucket};
 pub use rng::{SimRng, SplitMix64, Xoshiro256};
-pub use time::{SimDuration, SimTime};
+pub use time::{round_nonneg, SimDuration, SimTime};

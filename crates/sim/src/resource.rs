@@ -141,6 +141,14 @@ pub struct Bandwidth {
     propagation: SimDuration,
     pipe: Server,
     bytes_moved: u64,
+    /// Last `bytes → serialization` pair.  Transfer sizes on any given
+    /// pipe repeat op after op (a fixed control frame, a fixed payload
+    /// frame), so this one-entry memo hits almost always and skips the
+    /// f64 divide + round on the hot path.  Exact by construction: the
+    /// cached value is what [`Bandwidth::serialization`] returned for
+    /// the identical input.
+    memo_bytes: u64,
+    memo_ser: SimDuration,
 }
 
 impl Bandwidth {
@@ -152,6 +160,9 @@ impl Bandwidth {
             propagation,
             pipe: Server::new(),
             bytes_moved: 0,
+            // (0 bytes, zero delay) is itself a valid memo entry.
+            memo_bytes: 0,
+            memo_ser: SimDuration::ZERO,
         }
     }
 
@@ -168,8 +179,11 @@ impl Bandwidth {
     /// Transfer `bytes` starting no earlier than `now`; returns the time
     /// the last bit arrives at the far end.
     pub fn transfer(&mut self, now: SimTime, bytes: u64) -> SimTime {
-        let ser = self.serialization(bytes);
-        let (_, fin) = self.pipe.begin(now, ser);
+        if bytes != self.memo_bytes {
+            self.memo_bytes = bytes;
+            self.memo_ser = self.serialization(bytes);
+        }
+        let (_, fin) = self.pipe.begin(now, self.memo_ser);
         self.bytes_moved += bytes;
         fin + self.propagation
     }
@@ -193,6 +207,13 @@ impl Bandwidth {
     /// Configured rate in bytes/second.
     pub fn rate(&self) -> f64 {
         self.bytes_per_sec
+    }
+
+    /// Configured propagation delay — the floor every transfer pays
+    /// after serialization, and hence a safe lookahead contribution for
+    /// conservative time-windowing.
+    pub fn propagation(&self) -> SimDuration {
+        self.propagation
     }
 }
 

@@ -1,0 +1,743 @@
+//! Sharded event queue with conservative time-windows.
+//!
+//! [`ShardedEventQueue`] splits the pending-event set into per-lane (or
+//! per-OSD) **shards** and merges their frontiers through a small 4-ary
+//! min-heap.  The motivating observation is the closed-loop engine's
+//! schedule profile: every lane keeps at most a handful of outstanding
+//! events, each lane's successors are (almost always) later than the
+//! event that spawned them, and cross-lane interleavings only matter at
+//! the merge point.  Sharding turns the global heap's `O(log n)` sift
+//! over the *whole* pending set into
+//!
+//! * an `O(1)` head/overflow update inside one shard, plus
+//! * an `O(log s)` sift over the *shard frontier* (`s` = shards with
+//!   pending work, typically far smaller than the event count).
+//!
+//! # Determinism is the invariant, not a goal
+//!
+//! Pop order is a pure function of the global `(SimTime, seq)` key —
+//! a single monotonically increasing sequence number spans all shards,
+//! so simultaneous events fire in exactly the FIFO scheduling order the
+//! single-heap [`EventQueue`] produces.  Every figure of the paper
+//! regenerates **byte-identically** whichever queue runs, and the
+//! [`LaneQueue`] facade's kill switch ([`DISABLE_ENV`]) swaps the
+//! single heap back in at construction time to prove it.
+//!
+//! # Conservative time-windows
+//!
+//! The queue carries a **lookahead** `L` — in the engine, the minimum
+//! link propagation plus the service-time floor, re-derived whenever a
+//! fault plane or OsdMap mutation can change either.  The conservative
+//! PDES rule: an event executing at `t ∈ [m, m + L)` (where `m` is the
+//! frontier minimum) can only schedule successors at `t' ≥ t + L ≥
+//! m + L`, so every event strictly below the **horizon** `m + L` is
+//! committed — no in-flight event can preempt it.
+//! [`ShardedEventQueue::drain_window_into`] drains one such window in
+//! global order; the per-pop path keeps the same accounting cheaply
+//! ([`WindowStats`]: windows opened, events drained below the cached
+//! horizon) so the engine can report how much commit-ahead the model's
+//! timing floors buy without ever *acting* on the horizon — ordering
+//! never depends on `L`, so a stale or conservative lookahead can cost
+//! statistics fidelity but never correctness.
+//!
+//! # Shard layout
+//!
+//! Each shard keeps its earliest event inline in `head` (no pointer
+//! chase on the merge path) and the rest in `overflow`, a `VecDeque`
+//! kept sorted by `(at, seq)` via a back-scan insert — the monotone
+//! pushes that dominate closed-loop traffic append in `O(1)`.  The
+//! frontier heap stores `(at, seq, shard)` records without a position
+//! index; the rare earlier-than-head push finds its entry with a linear
+//! scan before the key-decrease.
+
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Environment variable that disables sharding.  When set (to any
+/// value), [`LaneQueue::new`] constructs the single-heap
+/// [`EventQueue`] instead — the determinism suite uses it to prove the
+/// sharded and single-heap runs are byte-identical.
+pub const DISABLE_ENV: &str = "DELIBA_NO_SHARDED_QUEUE";
+
+/// Conservative time-window accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Windows opened: pops at or above the cached horizon, each of
+    /// which re-anchors the horizon at `at + lookahead`.
+    pub windows: u64,
+    /// Events drained strictly below an already-open window's horizon —
+    /// pops the conservative rule had pre-committed.
+    pub drained: u64,
+}
+
+/// One frontier-heap record: the shard's earliest key plus the shard id.
+#[derive(Clone, Copy)]
+struct Frontier {
+    at: SimTime,
+    seq: u64,
+    shard: u32,
+}
+
+impl Frontier {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
+/// Frontier-heap arity — same shape (and same rationale) as the
+/// single-heap [`EventQueue`].
+const ARITY: usize = 4;
+
+/// One shard: earliest event inline, the rest sorted in `overflow`.
+struct Shard<E> {
+    head: Option<(SimTime, u64, E)>,
+    /// Later events, sorted ascending by `(at, seq)`.
+    overflow: VecDeque<(SimTime, u64, E)>,
+}
+
+impl<E> Shard<E> {
+    fn new() -> Self {
+        Shard {
+            head: None,
+            overflow: VecDeque::new(),
+        }
+    }
+
+    /// Sorted insert.  `seq` is globally maximal at insert time, so the
+    /// position depends on `at` alone: after every entry at `≤ at`,
+    /// before the first at `> at`.  Monotone pushes append in `O(1)`.
+    #[inline]
+    fn insert_overflow(&mut self, at: SimTime, seq: u64, payload: E) {
+        let mut i = self.overflow.len();
+        while i > 0 && self.overflow[i - 1].0 > at {
+            i -= 1;
+        }
+        self.overflow.insert(i, (at, seq, payload));
+    }
+}
+
+/// A min-ordered queue of timestamped events, sharded by lane, with
+/// deterministic global FIFO tie-breaking — pop-order-identical to
+/// [`EventQueue`] for every schedule history.
+pub struct ShardedEventQueue<E> {
+    shards: Vec<Shard<E>>,
+    /// 4-ary min-heap over the non-empty shards' head keys.
+    frontier: Vec<Frontier>,
+    next_seq: u64,
+    now: SimTime,
+    len: usize,
+    lookahead: SimDuration,
+    /// Cached horizon of the currently open window (stats only).
+    horizon: SimTime,
+    stats: WindowStats,
+}
+
+impl<E> ShardedEventQueue<E> {
+    /// Empty queue with `shards` shards at t = 0 and zero lookahead
+    /// (every pop opens its own window until a lookahead is set).
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        ShardedEventQueue {
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+            frontier: Vec::with_capacity(shards),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            len: 0,
+            lookahead: SimDuration::ZERO,
+            horizon: SimTime::ZERO,
+            stats: WindowStats::default(),
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events across all shards.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Timestamp of the next pending event without popping it.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.frontier.first().map(|f| f.at)
+    }
+
+    /// The configured lookahead.
+    #[inline]
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Set the conservative lookahead and close the open window (the
+    /// next pop re-anchors the horizon under the new bound).  Called
+    /// whenever a fault-plane or map mutation changes the minimum
+    /// propagation + service floor the lookahead was derived from.
+    pub fn set_lookahead(&mut self, lookahead: SimDuration) {
+        self.lookahead = lookahead;
+        self.horizon = self.now;
+    }
+
+    /// Window accounting so far.
+    #[inline]
+    pub fn window_stats(&self) -> WindowStats {
+        self.stats
+    }
+
+    /// Schedule `payload` on `shard` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` lies in the past or `shard` is out of range.
+    pub fn schedule_at(&mut self, shard: usize, at: SimTime, payload: E) {
+        assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.push_entry(shard, at, seq, payload);
+    }
+
+    /// Pop the globally next event, advancing virtual time to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.frontier.is_empty() {
+            return None;
+        }
+        Some(self.pop_root())
+    }
+
+    /// Pop the next event only if it is due at or before `deadline`.
+    pub fn pop_if_at_most(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.frontier.first() {
+            Some(f) if f.at <= deadline => Some(self.pop_root()),
+            _ => None,
+        }
+    }
+
+    /// Semantically `schedule_at(shard, at, payload)` followed by
+    /// `pop().unwrap()`, fused.  When the popped root and the pushed
+    /// event share a shard — the closed-loop common case, where a lane's
+    /// completion reschedules the same lane — the frontier root is
+    /// rewritten in place and one `sift_down` replaces the push's
+    /// `sift_up` plus the pop's `swap_remove` + `sift_down`.
+    pub fn schedule_at_then_pop(&mut self, shard: usize, at: SimTime, payload: E) -> (SimTime, E) {
+        assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        let root = match self.frontier.first() {
+            // Strictly earlier than every head: the new event is the
+            // global minimum (its seq is maximal, so it never wins a
+            // tie) and comes straight back without touching the shards.
+            Some(f) if at < f.at => None,
+            Some(f) => Some(*f),
+            None => None,
+        };
+        let Some(root) = root else {
+            self.next_seq += 1;
+            self.now = at;
+            self.note_pop(at);
+            return (at, payload);
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let s = root.shard as usize;
+        let (rat, _rseq, out) = self.shards[s]
+            .head
+            .take()
+            .expect("frontier entry points at a live shard head");
+        debug_assert!(rat >= self.now, "clock went backwards");
+        self.now = rat;
+        self.note_pop(rat);
+        if s == shard {
+            let sh = &mut self.shards[s];
+            match sh.overflow.front() {
+                // The overflow front is the shard's new head iff its
+                // time is ≤ `at` (equal times favour the smaller seq).
+                Some(f) if f.0 <= at => {
+                    let next = sh.overflow.pop_front().expect("front just observed");
+                    sh.insert_overflow(at, seq, payload);
+                    self.frontier[0] = Frontier { at: next.0, seq: next.1, shard: root.shard };
+                    sh.head = Some(next);
+                }
+                _ => {
+                    sh.head = Some((at, seq, payload));
+                    self.frontier[0] = Frontier { at, seq, shard: root.shard };
+                }
+            }
+            self.sift_down(0);
+        } else {
+            self.remove_root(root);
+            self.len -= 1;
+            self.push_entry(shard, at, seq, payload);
+        }
+        (rat, out)
+    }
+
+    /// Open one conservative time-window and drain it: pop the frontier
+    /// event, then every further event strictly below `horizon =
+    /// frontier_min + lookahead`, appending all of them to `out` in
+    /// global `(at, seq)` order.  Returns the number drained (0 only
+    /// when the queue is empty).
+    ///
+    /// Safety of the window: an event at `t < horizon` executes only
+    /// after every event that could schedule work below `horizon` has
+    /// already popped, *provided* the model's minimum event-to-successor
+    /// delay is at least the configured lookahead — the conservative
+    /// PDES contract the engine's lookahead derivation maintains.
+    pub fn drain_window_into(&mut self, out: &mut Vec<(SimTime, E)>) -> usize {
+        let Some(min) = self.peek_time() else {
+            return 0;
+        };
+        let horizon = min + self.lookahead;
+        let n0 = out.len();
+        // The frontier event itself is always safe (nothing pending is
+        // earlier), so a zero lookahead still drains one event.
+        out.push(self.pop_root());
+        while let Some(f) = self.frontier.first() {
+            if f.at >= horizon {
+                break;
+            }
+            out.push(self.pop_root());
+        }
+        out.len() - n0
+    }
+
+    /// Window accounting for one pop at `at`.
+    #[inline]
+    fn note_pop(&mut self, at: SimTime) {
+        if at < self.horizon {
+            self.stats.drained += 1;
+        } else {
+            self.stats.windows += 1;
+            self.horizon = at + self.lookahead;
+        }
+    }
+
+    /// Insert an already-sequenced event into its shard, maintaining
+    /// the frontier.
+    fn push_entry(&mut self, shard: usize, at: SimTime, seq: u64, payload: E) {
+        let sh = &mut self.shards[shard];
+        match &sh.head {
+            None => {
+                sh.head = Some((at, seq, payload));
+                self.frontier.push(Frontier { at, seq, shard: shard as u32 });
+                self.sift_up(self.frontier.len() - 1);
+            }
+            // Earlier than the head (seq is maximal, so only a strictly
+            // earlier time displaces it): the old head moves to the
+            // overflow front and the frontier entry's key decreases.
+            Some((hat, _, _)) if at < *hat => {
+                let old = sh.head.take().expect("head just observed");
+                sh.overflow.push_front(old);
+                sh.head = Some((at, seq, payload));
+                let i = self
+                    .frontier
+                    .iter()
+                    .position(|f| f.shard == shard as u32)
+                    .expect("non-empty shard has a frontier entry");
+                self.frontier[i] = Frontier { at, seq, shard: shard as u32 };
+                self.sift_up(i);
+            }
+            Some(_) => sh.insert_overflow(at, seq, payload),
+        }
+        self.len += 1;
+    }
+
+    fn pop_root(&mut self) -> (SimTime, E) {
+        let root = self.frontier[0];
+        let s = root.shard as usize;
+        let (at, _seq, payload) = self.shards[s]
+            .head
+            .take()
+            .expect("frontier entry points at a live shard head");
+        debug_assert!(at >= self.now, "clock went backwards");
+        self.now = at;
+        self.len -= 1;
+        self.remove_root(root);
+        self.note_pop(at);
+        (at, payload)
+    }
+
+    /// Replace the frontier root after its shard's head was consumed:
+    /// promote the shard's overflow front, or drop the shard from the
+    /// frontier when it drained.
+    #[inline]
+    fn remove_root(&mut self, root: Frontier) {
+        let s = root.shard as usize;
+        match self.shards[s].overflow.pop_front() {
+            Some(next) => {
+                self.frontier[0] = Frontier { at: next.0, seq: next.1, shard: root.shard };
+                self.shards[s].head = Some(next);
+                self.sift_down(0);
+            }
+            None => {
+                self.frontier.swap_remove(0);
+                if !self.frontier.is_empty() {
+                    self.sift_down(0);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        let moved = self.frontier[i];
+        let key = moved.key();
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.frontier[parent].key() <= key {
+                break;
+            }
+            self.frontier[i] = self.frontier[parent];
+            i = parent;
+        }
+        self.frontier[i] = moved;
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut i: usize) {
+        let moved = self.frontier[i];
+        let key = moved.key();
+        let len = self.frontier.len();
+        loop {
+            let first = i * ARITY + 1;
+            if first >= len {
+                break;
+            }
+            let end = (first + ARITY).min(len);
+            let mut min_c = first;
+            let mut min_key = self.frontier[first].key();
+            for c in first + 1..end {
+                let k = self.frontier[c].key();
+                if k < min_key {
+                    min_c = c;
+                    min_key = k;
+                }
+            }
+            if key <= min_key {
+                break;
+            }
+            self.frontier[i] = self.frontier[min_c];
+            i = min_c;
+        }
+        self.frontier[i] = moved;
+    }
+}
+
+/// The engine-facing queue: the sharded queue by default, the single
+/// heap when [`DISABLE_ENV`] is set.  Both variants expose the same
+/// shard-addressed API (the single heap ignores the shard index) and
+/// pop in the same global `(at, seq)` order, so the engine's event loop
+/// is byte-identical either way.
+pub enum LaneQueue<E> {
+    /// Kill-switch fallback: the single 4-ary arena heap.
+    Single(EventQueue<E>),
+    /// The sharded queue.
+    Sharded(ShardedEventQueue<E>),
+}
+
+impl<E> LaneQueue<E> {
+    /// A queue with `shards` shards (capacity hint `capacity` for the
+    /// single-heap fallback), honoring [`DISABLE_ENV`].
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        if std::env::var_os(DISABLE_ENV).is_some() {
+            LaneQueue::Single(EventQueue::with_capacity(capacity))
+        } else {
+            LaneQueue::Sharded(ShardedEventQueue::new(shards))
+        }
+    }
+
+    /// Is the sharded variant active?
+    pub fn is_sharded(&self) -> bool {
+        matches!(self, LaneQueue::Sharded(_))
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        match self {
+            LaneQueue::Single(q) => q.now(),
+            LaneQueue::Sharded(q) => q.now(),
+        }
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            LaneQueue::Single(q) => q.len(),
+            LaneQueue::Sharded(q) => q.len(),
+        }
+    }
+
+    /// True when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Timestamp of the next pending event.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            LaneQueue::Single(q) => q.peek_time(),
+            LaneQueue::Sharded(q) => q.peek_time(),
+        }
+    }
+
+    /// Schedule on `shard` (ignored by the single-heap variant).
+    #[inline]
+    pub fn schedule_at(&mut self, shard: usize, at: SimTime, payload: E) {
+        match self {
+            LaneQueue::Single(q) => q.schedule_at(at, payload),
+            LaneQueue::Sharded(q) => q.schedule_at(shard, at, payload),
+        }
+    }
+
+    /// Pop the globally next event.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self {
+            LaneQueue::Single(q) => q.pop(),
+            LaneQueue::Sharded(q) => q.pop(),
+        }
+    }
+
+    /// Pop the next event only if due at or before `deadline`.
+    #[inline]
+    pub fn pop_if_at_most(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self {
+            LaneQueue::Single(q) => q.pop_if_at_most(deadline),
+            LaneQueue::Sharded(q) => q.pop_if_at_most(deadline),
+        }
+    }
+
+    /// Fused schedule + pop (see
+    /// [`ShardedEventQueue::schedule_at_then_pop`]).
+    #[inline]
+    pub fn schedule_at_then_pop(&mut self, shard: usize, at: SimTime, payload: E) -> (SimTime, E) {
+        match self {
+            LaneQueue::Single(q) => q.schedule_at_then_pop(at, payload),
+            LaneQueue::Sharded(q) => q.schedule_at_then_pop(shard, at, payload),
+        }
+    }
+
+    /// Set the conservative lookahead (no-op for the single heap, which
+    /// keeps no window accounting).
+    pub fn set_lookahead(&mut self, lookahead: SimDuration) {
+        if let LaneQueue::Sharded(q) = self {
+            q.set_lookahead(lookahead);
+        }
+    }
+
+    /// Window accounting (zeros for the single heap).
+    pub fn window_stats(&self) -> WindowStats {
+        match self {
+            LaneQueue::Single(_) => WindowStats::default(),
+            LaneQueue::Sharded(q) => q.window_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{SimRng, Xoshiro256};
+
+    #[test]
+    fn events_pop_in_time_order_across_shards() {
+        let mut q: ShardedEventQueue<u32> = ShardedEventQueue::new(4);
+        q.schedule_at(0, SimTime(30), 3);
+        q.schedule_at(1, SimTime(10), 1);
+        q.schedule_at(2, SimTime(20), 2);
+        assert_eq!(q.pop().unwrap(), (SimTime(10), 1));
+        assert_eq!(q.pop().unwrap(), (SimTime(20), 2));
+        assert_eq!(q.pop().unwrap(), (SimTime(30), 3));
+        assert!(q.pop().is_none());
+        assert_eq!(q.now(), SimTime(30));
+    }
+
+    #[test]
+    fn simultaneous_events_fifo_across_shards() {
+        // The global seq spans shards, so same-instant events fire in
+        // scheduling order no matter which shard holds them.
+        let mut q: ShardedEventQueue<u32> = ShardedEventQueue::new(7);
+        for i in 0..100 {
+            q.schedule_at((i as usize * 3) % 7, SimTime(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i, "FIFO order for equal timestamps");
+        }
+    }
+
+    #[test]
+    fn earlier_than_head_push_displaces_head() {
+        let mut q: ShardedEventQueue<u32> = ShardedEventQueue::new(2);
+        q.schedule_at(0, SimTime(50), 1);
+        q.schedule_at(0, SimTime(40), 2); // decreases shard 0's frontier key
+        q.schedule_at(1, SimTime(45), 3);
+        assert_eq!(q.pop().unwrap(), (SimTime(40), 2));
+        assert_eq!(q.pop().unwrap(), (SimTime(45), 3));
+        assert_eq!(q.pop().unwrap(), (SimTime(50), 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q: ShardedEventQueue<()> = ShardedEventQueue::new(2);
+        q.schedule_at(0, SimTime(10), ());
+        q.pop();
+        q.schedule_at(1, SimTime(5), ());
+    }
+
+    #[test]
+    fn matches_single_heap_on_random_history() {
+        // Differential test: for the same schedule history (events
+        // spread across shards arbitrarily), the sharded queue must pop
+        // in exactly the single heap's order — including heavy FIFO
+        // collisions and interleaved fused schedule+pop calls.
+        let mut rng = Xoshiro256::seed_from_u64(0x5A4D);
+        let mut sharded: ShardedEventQueue<u64> = ShardedEventQueue::new(5);
+        let mut single: EventQueue<u64> = EventQueue::new();
+        let mut id = 0u64;
+        for _round in 0..300 {
+            for _ in 0..rng.gen_range(6) + 1 {
+                let at = sharded.now() + SimDuration(rng.gen_range(4));
+                let shard = rng.gen_range(5) as usize;
+                sharded.schedule_at(shard, at, id);
+                single.schedule_at(at, id);
+                id += 1;
+            }
+            for _ in 0..rng.gen_range(6) {
+                assert_eq!(sharded.pop(), single.pop());
+            }
+            if !single.is_empty() && rng.gen_range(2) == 0 {
+                // Fused path, biased toward the root's own shard like
+                // the closed loop, but sometimes crossing shards.
+                let at = single.peek_time().unwrap() + SimDuration(rng.gen_range(3));
+                let shard = rng.gen_range(5) as usize;
+                assert_eq!(
+                    sharded.schedule_at_then_pop(shard, at, id),
+                    single.schedule_at_then_pop(at, id),
+                );
+                id += 1;
+            }
+            assert_eq!(sharded.len(), single.len());
+        }
+        loop {
+            let (a, b) = (sharded.pop(), single.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn fused_same_shard_round_trips() {
+        // The closed-loop shape: one event per shard, each pop
+        // reschedules its own shard strictly later.
+        let mut q: ShardedEventQueue<usize> = ShardedEventQueue::new(3);
+        for s in 0..3 {
+            q.schedule_at(s, SimTime(10 + s as u64), s);
+        }
+        let mut t = SimTime::ZERO;
+        for step in 0..1000 {
+            let (at, lane) = q.schedule_at_then_pop(step % 3, q.now() + SimDuration(30), step % 3);
+            assert!(at >= t, "time monotone");
+            t = at;
+            let _ = lane;
+            assert_eq!(q.len(), 3);
+        }
+    }
+
+    #[test]
+    fn drain_window_respects_horizon() {
+        let mut q: ShardedEventQueue<u32> = ShardedEventQueue::new(2);
+        q.set_lookahead(SimDuration(10));
+        q.schedule_at(0, SimTime(100), 1);
+        q.schedule_at(1, SimTime(105), 2);
+        q.schedule_at(0, SimTime(109), 3);
+        q.schedule_at(1, SimTime(110), 4); // exactly at horizon: excluded
+        q.schedule_at(0, SimTime(200), 5);
+        let mut out = Vec::new();
+        assert_eq!(q.drain_window_into(&mut out), 3);
+        assert_eq!(out, vec![(SimTime(100), 1), (SimTime(105), 2), (SimTime(109), 3)]);
+        // Next window anchors at 110.
+        assert_eq!(q.drain_window_into(&mut out), 1);
+        assert_eq!(out.last(), Some(&(SimTime(110), 4)));
+        // Zero lookahead still drains the frontier event.
+        q.set_lookahead(SimDuration::ZERO);
+        assert_eq!(q.drain_window_into(&mut out), 1);
+        assert_eq!(out.last(), Some(&(SimTime(200), 5)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn window_stats_count_drained_pops() {
+        let mut q: ShardedEventQueue<u32> = ShardedEventQueue::new(2);
+        q.set_lookahead(SimDuration(10));
+        for (i, t) in [100u64, 104, 108, 200, 205].into_iter().enumerate() {
+            q.schedule_at(i % 2, SimTime(t), i as u32);
+        }
+        while q.pop().is_some() {}
+        // 100 opens (horizon 110), 104 + 108 drain, 200 opens
+        // (horizon 210), 205 drains.
+        assert_eq!(q.window_stats(), WindowStats { windows: 2, drained: 3 });
+        // Shrinking the lookahead closes the open window.
+        q.set_lookahead(SimDuration(2));
+        q.schedule_at(0, SimTime(206), 9);
+        q.pop();
+        assert_eq!(q.window_stats(), WindowStats { windows: 3, drained: 3 });
+    }
+
+    #[test]
+    fn lane_queue_kill_switch() {
+        // Env-dependent construction is covered by the harness
+        // determinism suite; here, prove both variants agree through
+        // the facade on a mixed history.
+        let mut a: LaneQueue<u32> = LaneQueue::Single(EventQueue::new());
+        let mut b: LaneQueue<u32> = LaneQueue::Sharded(ShardedEventQueue::new(3));
+        assert!(!a.is_sharded());
+        assert!(b.is_sharded());
+        for i in 0..50u32 {
+            let at = SimTime(100 + (i as u64 * 7) % 13);
+            a.schedule_at(i as usize % 3, at, i);
+            b.schedule_at(i as usize % 3, at, i);
+        }
+        for _ in 0..50 {
+            assert_eq!(a.pop(), b.pop());
+        }
+        assert!(a.is_empty() && b.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_through_fused_calls() {
+        let mut q: ShardedEventQueue<u32> = ShardedEventQueue::new(2);
+        q.schedule_at(0, SimTime(10), 0);
+        q.schedule_at(1, SimTime(20), 1);
+        assert_eq!(q.len(), 2);
+        // Cross-shard fused call: pops shard 0's head, pushes on 1.
+        let (at, _) = q.schedule_at_then_pop(1, SimTime(30), 2);
+        assert_eq!(at, SimTime(10));
+        assert_eq!(q.len(), 2);
+        // Direct-return fused call: new event is the global minimum.
+        let (at, v) = q.schedule_at_then_pop(0, SimTime(15), 3);
+        assert_eq!((at, v), (SimTime(15), 3));
+        assert_eq!(q.len(), 2);
+    }
+}

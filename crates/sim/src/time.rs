@@ -9,6 +9,25 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
+/// Round a non-negative float to the nearest integer, half away from
+/// zero — bit-identical to `v.round() as u64` for every representable
+/// `v` in `[0, 2^52)` — without the libm `round` call, which profiles
+/// at several percent of the closed-loop wall clock (every link
+/// serialization and every OSD service draw rounds once).
+///
+/// Exactness: truncation is exact, and for `0 ≤ v < 2^52` the fraction
+/// `v - trunc(v)` is representable (it is a multiple of `v`'s own ulp
+/// below 1.0), so the subtraction introduces no rounding and the
+/// `≥ 0.5` test agrees with `round`'s half-away-from-zero rule.  Note
+/// the popular `floor(v + 0.5)` shortcut is *not* exact — it rounds
+/// `0.49999999999999994` up — which is why the comparison form is used.
+#[inline]
+pub fn round_nonneg(v: f64) -> u64 {
+    debug_assert!((0.0..4.5e15).contains(&v), "round_nonneg domain: {v}");
+    let t = v as u64; // truncate toward zero
+    t + ((v - t as f64) >= 0.5) as u64
+}
+
 /// An instant on the simulation clock, in nanoseconds since simulation
 /// start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -90,14 +109,14 @@ impl SimDuration {
     #[inline]
     pub fn from_micros_f64(us: f64) -> Self {
         debug_assert!(us >= 0.0, "negative duration");
-        SimDuration((us * 1_000.0).round() as u64)
+        SimDuration(round_nonneg(us * 1_000.0))
     }
 
     /// Construct from fractional seconds (rounds to nearest ns).
     #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
         debug_assert!(s >= 0.0, "negative duration");
-        SimDuration((s * 1e9).round() as u64)
+        SimDuration(round_nonneg(s * 1e9))
     }
 
     /// Nanoseconds.
@@ -220,7 +239,7 @@ impl Mul<f64> for SimDuration {
     #[inline]
     fn mul(self, rhs: f64) -> SimDuration {
         debug_assert!(rhs >= 0.0);
-        SimDuration((self.0 as f64 * rhs).round() as u64)
+        SimDuration(round_nonneg(self.0 as f64 * rhs))
     }
 }
 
@@ -319,5 +338,34 @@ mod tests {
     fn sum_of_durations() {
         let total: SimDuration = (1..=4).map(SimDuration::from_micros).sum();
         assert_eq!(total.as_nanos(), 10_000);
+    }
+
+    #[test]
+    fn round_nonneg_matches_libm_round() {
+        // The adversarial cases first: exact halves (away from zero),
+        // the value just below 0.5 that floor(v + 0.5) gets wrong, and
+        // values adjacent to halves.
+        for v in [
+            0.0,
+            0.25,
+            0.49999999999999994,
+            0.5,
+            0.75,
+            1.5,
+            2.5,
+            2.4999999999999996,
+            1e9 + 0.5,
+            123_456_789.000_000_1,
+            4.0e15,
+        ] {
+            assert_eq!(round_nonneg(v), v.round() as u64, "v = {v:?}");
+        }
+        // And a deterministic pseudo-random sweep across magnitudes.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..100_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = (x >> 12) as f64 / (1u64 << 20) as f64; // [0, 2^32) with fractions
+            assert_eq!(round_nonneg(v), v.round() as u64, "v = {v:?}");
+        }
     }
 }
