@@ -906,31 +906,44 @@ pub fn perf() -> Experiment {
         c.fused_events as f64 / c.events.max(1) as f64
     };
 
-    // Flight-recorder cost: the same reference workload with the
-    // recorder disabled (the default — every emit is one branch on a
-    // `None`) and recording at full depth.  Best of 3 each, so a single
-    // scheduler hiccup cannot fake a regression; the disabled-path cell
-    // is compared against the engine reference cell above (identical
-    // configuration) and CI holds that overhead under 1 %.
+    // Flight-recorder cost.  The disabled path (`TraceDepth::Off`, the
+    // default — every emit is one branch on a `None`) runs the *same*
+    // configuration as the engine reference cell, so its overhead must
+    // be measured as interleaved pairs — reference run, then
+    // disabled-path run, back to back — taking the minimum pairwise
+    // slowdown.  The previous shape compared two independent best-of-3
+    // batches: cross-batch drift (allocator state, frequency scaling, a
+    // scheduler hiccup in either batch) read as a fake 3–4 % "overhead"
+    // on a code path that is one never-taken branch.  Pairing puts both
+    // legs under the same drift and the min cancels what remains; CI
+    // holds the result under 1 %.  Recording overhead pairs full-depth
+    // against the disabled leg the same way.
     use deliba_sim::TraceDepth;
-    let recorder_evps = |depth: TraceDepth| -> f64 {
-        (0..3)
-            .map(|_| {
-                let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication)
-                    .with_trace_depth(depth);
-                let mut e = Engine::new(cfg);
-                let t0 = Instant::now();
-                let r = e.run_fio(&spec);
-                let wall = t0.elapsed().as_secs_f64();
-                assert_eq!(r.verify_failures, 0);
-                e.events_executed() as f64 / wall.max(1e-9)
-            })
-            .fold(0.0, f64::max)
+    let run_evps = |depth: TraceDepth| -> f64 {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication)
+            .with_trace_depth(depth);
+        let mut e = Engine::new(cfg);
+        let t0 = Instant::now();
+        let r = e.run_fio(&spec);
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(r.verify_failures, 0);
+        e.events_executed() as f64 / wall.max(1e-9)
     };
-    let untraced_evps = recorder_evps(TraceDepth::Off);
-    let traced_evps = recorder_evps(TraceDepth::Full);
-    let disabled_overhead = (1.0 - untraced_evps / engine_evps.max(1e-9)).max(0.0);
-    let recording_overhead = (1.0 - traced_evps / untraced_evps.max(1e-9)).max(0.0);
+    let mut untraced_evps = 0.0f64;
+    let mut traced_evps = 0.0f64;
+    let mut disabled_overhead = f64::INFINITY;
+    let mut recording_overhead = f64::INFINITY;
+    for _ in 0..3 {
+        let reference = run_evps(TraceDepth::Off);
+        let off = run_evps(TraceDepth::Off);
+        let full = run_evps(TraceDepth::Full);
+        untraced_evps = untraced_evps.max(off);
+        traced_evps = traced_evps.max(full);
+        disabled_overhead = disabled_overhead.min(1.0 - off / reference.max(1e-9));
+        recording_overhead = recording_overhead.min(1.0 - full / off.max(1e-9));
+    }
+    let disabled_overhead = disabled_overhead.max(0.0);
+    let recording_overhead = recording_overhead.max(0.0);
 
     // Pure queue churn: steady-state schedule/pop with pseudo-random
     // deltas — the simulator hot loop with the engine stripped away.
@@ -992,26 +1005,119 @@ pub fn perf() -> Experiment {
     let sharded_evps = (0..3).map(|_| lane_churn_sharded()).fold(0.0, f64::max);
     let sharded_speedup = sharded_evps / lane_single_evps.max(1e-9);
 
+    // Intra-run parallelism, engine shape: an EC-write cell, whose
+    // serial wall-clock is dominated by lane-local compute (payload
+    // fill, FNV checksum, RS(4, 2) arithmetic), run once serially and
+    // once with the prepare worker pool sized to the machine.  Both
+    // runs produce byte-identical reports (pinned by the differential
+    // suite); the cells expose the wall-clock ratio.  On a single-core
+    // runner the pool is size 1 and the ratio reads ~1.0 — CI floors
+    // apply only when the machine actually has cores to win on.
+    let pool_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let ec_spec = FioSpec::paper(RwMode::Write, Pattern::Rand, 16384, CELL_OPS);
+    let ec_wall = |threads: usize| -> f64 {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::ErasureCoding)
+            .with_sim_threads(threads);
+        let mut e = Engine::new(cfg);
+        let t0 = Instant::now();
+        let r = e.run_fio(&ec_spec);
+        assert_eq!(r.verify_failures, 0);
+        t0.elapsed().as_secs_f64()
+    };
+    // Interleaved best-of-3 per leg, for the same reason the recorder
+    // cells pair their runs: cross-batch drift must hit both legs.
+    let mut ec_serial_wall = f64::INFINITY;
+    let mut ec_pool_wall = f64::INFINITY;
+    for _ in 0..3 {
+        ec_serial_wall = ec_serial_wall.min(ec_wall(1));
+        ec_pool_wall = ec_pool_wall.min(ec_wall(pool_threads));
+    }
+    let prepare_speedup = ec_serial_wall / ec_pool_wall.max(1e-9);
+
+    // Intra-run parallelism, fleet shape: a 32-lane big-cluster gauge
+    // driven through the sim-level window executor, with synthetic
+    // lane-local work standing in for per-OSD compute.  Every thread
+    // count merges to identical state (pinned by the sim differential
+    // tests); the cells expose the event rate and its scaling.
+    const GAUGE_LANES: usize = 32;
+    const GAUGE_HOPS: u64 = 256;
+    struct GaugeLane {
+        acc: u64,
+    }
+    impl deliba_sim::LaneState for GaugeLane {}
+    struct GaugeModel {
+        step: SimDuration,
+    }
+    impl deliba_sim::SharedState for GaugeModel {}
+    let gauge_evps = |threads: usize| -> f64 {
+        let model = GaugeModel { step: SimDuration::from_nanos(1_000) };
+        let mut q: ShardedEventQueue<u64> = ShardedEventQueue::new(GAUGE_LANES);
+        q.set_lookahead(SimDuration::from_nanos(1_000));
+        for lane in 0..GAUGE_LANES {
+            q.schedule_at(lane, SimTime::from_nanos(lane as u64), 0u64);
+        }
+        let mut lanes: Vec<GaugeLane> =
+            (0..GAUGE_LANES).map(|l| GaugeLane { acc: l as u64 }).collect();
+        let handler = |m: &GaugeModel,
+                       shard: usize,
+                       lane: &mut GaugeLane,
+                       at: SimTime,
+                       hop: u64,
+                       fx: &mut deliba_sim::Effects<u64, ()>| {
+            // A few µs of lane-local arithmetic per event — the scale
+            // of one op's payload + checksum work.
+            let mut x = lane.acc ^ hop;
+            for _ in 0..4096 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            }
+            lane.acc = x;
+            if hop + 1 < GAUGE_HOPS {
+                fx.schedule(shard, at + m.step, hop + 1);
+            }
+        };
+        let mut ex = deliba_sim::WindowExecutor::new(threads);
+        let mut done = 0usize;
+        let t0 = Instant::now();
+        loop {
+            match ex.run_window(&mut q, &mut lanes, &model, &handler, &mut |_, _: ()| {}, None) {
+                deliba_sim::WindowOutcome::Empty => break,
+                deliba_sim::WindowOutcome::Clipped(_) => unreachable!("no clip configured"),
+                deliba_sim::WindowOutcome::Executed(n) => done += n,
+            }
+        }
+        done as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    };
+    let mut gauge_serial_evps = 0.0f64;
+    let mut gauge_pool_evps = 0.0f64;
+    for _ in 0..3 {
+        gauge_serial_evps = gauge_serial_evps.max(gauge_evps(1));
+        gauge_pool_evps = gauge_pool_evps.max(gauge_evps(pool_threads));
+    }
+    let gauge_speedup = gauge_pool_evps / gauge_serial_evps.max(1e-9);
+
     Experiment {
         id: "perf".into(),
         caption: "harness perf gate: wall-clock + events/sec on the reference workload".into(),
         cells: vec![
+            // Cell configs name their thread/shard configuration: the
+            // reference cells run the serial commit loop (1 thread,
+            // sharded queue), the parallel cells below name the pool.
             Cell {
-                config: "engine closed loop".into(),
+                config: "engine closed loop (1 thread)".into(),
                 workload: r.workload.clone(),
                 unit: "s",
                 measured: engine_wall,
                 paper: None,
             },
             Cell {
-                config: "engine closed loop".into(),
+                config: "engine closed loop (1 thread)".into(),
                 workload: "events per second".into(),
                 unit: "ev/s",
                 measured: engine_evps,
                 paper: None,
             },
             Cell {
-                config: "engine closed loop".into(),
+                config: "engine closed loop (1 thread)".into(),
                 workload: "events per io".into(),
                 unit: "ev/io",
                 measured: events_per_io,
@@ -1117,6 +1223,59 @@ pub fn perf() -> Experiment {
                 workload: "recording overhead".into(),
                 unit: "frac",
                 measured: recording_overhead,
+                paper: None,
+            },
+            // Intra-run parallelism.  "pool" cells run with the machine
+            // width recorded in the "prepare pool threads" cell, so a
+            // reader of BENCH_harness.json knows which configuration
+            // produced the ratio (1.0 is expected on a 1-core box).
+            Cell {
+                config: "engine EC write (1 thread)".into(),
+                workload: "wall clock".into(),
+                unit: "s",
+                measured: ec_serial_wall,
+                paper: None,
+            },
+            Cell {
+                config: "engine EC write (prepare pool)".into(),
+                workload: "wall clock".into(),
+                unit: "s",
+                measured: ec_pool_wall,
+                paper: None,
+            },
+            Cell {
+                config: "engine EC write (prepare pool)".into(),
+                workload: "prepare pool threads".into(),
+                unit: "threads",
+                measured: pool_threads as f64,
+                paper: None,
+            },
+            Cell {
+                config: "engine EC write (prepare pool)".into(),
+                workload: "prepare speedup".into(),
+                unit: "x",
+                measured: prepare_speedup,
+                paper: None,
+            },
+            Cell {
+                config: "window executor (32 lanes, 1 thread)".into(),
+                workload: "events per second".into(),
+                unit: "ev/s",
+                measured: gauge_serial_evps,
+                paper: None,
+            },
+            Cell {
+                config: "window executor (32 lanes, pool)".into(),
+                workload: "events per second".into(),
+                unit: "ev/s",
+                measured: gauge_pool_evps,
+                paper: None,
+            },
+            Cell {
+                config: "window executor (32 lanes, pool)".into(),
+                workload: "parallel speedup".into(),
+                unit: "x",
+                measured: gauge_speedup,
                 paper: None,
             },
         ],

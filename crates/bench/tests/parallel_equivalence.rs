@@ -1,0 +1,183 @@
+//! Thread-invariance gates for intra-run parallel execution.
+//!
+//! The contract: `DELIBA_SIM_THREADS` (or `with_sim_threads`) changes
+//! wall-clock only — every `RunReport` the engine produces is
+//! byte-identical at any worker count, with or without the sharded
+//! event queue.  These tests pin that property in-process over the
+//! paths where the prepare pipeline actually engages: closed-loop
+//! write traces in both pool modes, chaos runs with mid-trace retries,
+//! and open-loop runs with admission drops (which exercise pipeline
+//! cancellation).
+
+use deliba_core::{ArrivalOp, Engine, EngineConfig, FioSpec, Generation, Mode, Pattern, RwMode, TraceOp};
+use deliba_fault::{FaultSchedule, ResiliencePolicy};
+use deliba_net::LinkFaultProfile;
+use deliba_qdma::DmaFaultProfile;
+use deliba_sim::{SimDuration, SimTime};
+
+const THREAD_MATRIX: [usize; 3] = [1, 2, 8];
+
+/// Mixed write/read closed-loop trace — the bread-and-butter shape
+/// where write payload preparation dominates.
+fn mixed_trace() -> Vec<TraceOp> {
+    let mut ops = Vec::new();
+    for i in 0..400u64 {
+        ops.push(TraceOp::write(i * 8192, 8192, true));
+        if i % 3 == 0 {
+            ops.push(TraceOp::read(i * 8192, 8192, true));
+        }
+    }
+    ops
+}
+
+/// Closed-loop reports are byte-identical across the thread matrix in
+/// both replication and erasure-coding modes (EC additionally covers
+/// prepared-shard handoff to the card).
+#[test]
+fn closed_loop_reports_are_thread_invariant() {
+    for mode in [Mode::Replication, Mode::ErasureCoding] {
+        let run = |threads| {
+            let cfg = EngineConfig::new(Generation::DeLiBAK, true, mode)
+                .with_sim_threads(threads);
+            let r = Engine::new(cfg).run_trace(vec![mixed_trace()], 8);
+            assert_eq!(r.verify_failures, 0, "{mode:?}: checksum mismatch");
+            serde_json::to_string(&r).expect("serializable")
+        };
+        let reference = run(1);
+        for threads in THREAD_MATRIX {
+            assert_eq!(
+                run(threads),
+                reference,
+                "{mode:?}: {threads} threads diverged from serial"
+            );
+        }
+    }
+}
+
+/// The fio front-end (multi-job random write, the paper's workload
+/// shape) is thread-invariant — this drives `run_trace` with several
+/// jobs, so prepared slots interleave across job streams.
+#[test]
+fn fio_reports_are_thread_invariant() {
+    let run = |threads| {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication)
+            .with_sim_threads(threads);
+        let r = Engine::new(cfg).run_fio(&FioSpec::paper(RwMode::Write, Pattern::Rand, 4096, 900));
+        serde_json::to_string(&r).expect("serializable")
+    };
+    let reference = run(1);
+    for threads in THREAD_MATRIX {
+        assert_eq!(run(threads), reference, "{threads} threads diverged from serial");
+    }
+}
+
+/// Chaos runs — retries regenerate payloads inline after the prepared
+/// slot is consumed — stay byte-identical at every worker count.
+#[test]
+fn chaos_reports_are_thread_invariant() {
+    let ms = |n: u64| SimTime::from_nanos(n * 1_000_000);
+    let run = |mode, threads| {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, mode)
+            .with_resilience(ResiliencePolicy::default())
+            .with_sim_threads(threads);
+        let mut e = Engine::new(cfg);
+        e.set_fault_schedule(
+            FaultSchedule::new()
+                .osd_flap(ms(1), 9, SimDuration::from_millis(3))
+                .link_degrade(ms(2), LinkFaultProfile { drop_p: 0.15, corrupt_p: 0.05 })
+                .link_restore(ms(6))
+                .dma_degrade(
+                    ms(4),
+                    DmaFaultProfile { h2c_error_p: 0.1, c2h_error_p: 0.1, exhaust_p: 0.2 },
+                )
+                .dma_restore(ms(8))
+                .card_outage(ms(10), SimDuration::from_millis(3)),
+        );
+        let mut ops = Vec::new();
+        for i in 0..500u64 {
+            ops.push(TraceOp::write(i * 4096, 4096, true));
+        }
+        for i in 0..500u64 {
+            ops.push(TraceOp::read(i * 4096, 4096, true));
+        }
+        let r = e.run_trace(vec![ops], 4);
+        assert_eq!(r.verify_failures, 0, "{mode:?}: corruption under chaos");
+        let res = r.resilience.expect("chaos runs report resilience");
+        assert!(res.retries > 0, "{mode:?}: the schedule must actually bite");
+        serde_json::to_string(&r).expect("serializable")
+    };
+    for mode in [Mode::Replication, Mode::ErasureCoding] {
+        let reference = run(mode, 1);
+        for threads in THREAD_MATRIX {
+            assert_eq!(
+                run(mode, threads),
+                reference,
+                "{mode:?}: {threads} threads diverged from serial under chaos"
+            );
+        }
+    }
+}
+
+/// Open-loop runs with a tight admission cap — dropped arrivals make
+/// the pipeline skip slots via `advance` — are thread-invariant, drop
+/// accounting included.
+#[test]
+fn open_loop_reports_are_thread_invariant() {
+    let stream: Vec<ArrivalOp> = (0..1_200u64)
+        .map(|i| ArrivalOp {
+            at: SimTime::from_nanos(i * 700),
+            op: if i % 4 == 3 {
+                TraceOp::read((i % 256) * 4096, 4096, true)
+            } else {
+                TraceOp::write((i % 256) * 4096, 4096, true)
+            },
+        })
+        .collect();
+    let run = |threads| {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication)
+            .with_sim_threads(threads);
+        let out = Engine::new(cfg).run_open_loop(&stream, 8);
+        (format!("{out:?}"), out.point.dropped)
+    };
+    let (reference, dropped) = run(1);
+    assert!(dropped > 0, "cap of 8 must actually drop arrivals");
+    for threads in THREAD_MATRIX {
+        assert_eq!(run(threads).0, reference, "{threads} threads diverged from serial");
+    }
+}
+
+/// The single-heap fallback (`DELIBA_NO_SHARDED_QUEUE=1`) composes
+/// with the thread matrix: all four corners — {sharded, single-heap} ×
+/// {serial, pooled} — produce the same results.  The window-stats
+/// counters are the one *intentional* difference (they describe the
+/// execution strategy, and a single heap opens no windows), so they
+/// are asserted separately and zeroed before the byte comparison.
+/// Env manipulation stays inside this one test; the other tests in
+/// this binary are immune to a leaked flag anyway, because sharded
+/// on/off is result-invariant.
+#[test]
+fn sharded_queue_toggle_composes_with_thread_matrix() {
+    let run = |threads| {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::ErasureCoding)
+            .with_sim_threads(threads);
+        let mut r = Engine::new(cfg).run_trace(vec![mixed_trace()], 8);
+        let windows = r.counters.map_or(0, |c| c.windows);
+        if let Some(c) = r.counters.as_mut() {
+            c.windows = 0;
+            c.window_events = 0;
+            c.window_width_ns = 0;
+        }
+        (serde_json::to_string(&r).expect("serializable"), windows)
+    };
+    let (reference, sharded_windows) = run(1);
+    assert!(sharded_windows > 0, "sharded runs must report window stats");
+    std::env::set_var("DELIBA_NO_SHARDED_QUEUE", "1");
+    let (single_serial, single_windows) = run(1);
+    let single_pool = run(8).0;
+    std::env::remove_var("DELIBA_NO_SHARDED_QUEUE");
+    let sharded_pool = run(8).0;
+    assert_eq!(single_windows, 0, "single-heap runs open no windows");
+    assert_eq!(single_serial, reference, "single-heap serial diverged");
+    assert_eq!(single_pool, reference, "single-heap pooled diverged");
+    assert_eq!(sharded_pool, reference, "sharded pooled diverged");
+}

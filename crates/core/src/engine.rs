@@ -213,6 +213,12 @@ pub struct EngineConfig {
     /// shares its decomposition.  Recording draws no randomness and
     /// advances no timeline, so it never perturbs results.
     pub trace_depth: TraceDepth,
+    /// Intra-run worker threads (`None` = read `DELIBA_SIM_THREADS`,
+    /// default 1).  Above 1, a prepare pipeline generates write
+    /// payloads, checksums and EC shards on worker threads while the
+    /// commit loop executes events serially — reports stay
+    /// byte-identical for every value, only wall-clock changes.
+    pub sim_threads: Option<usize>,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -230,6 +236,7 @@ impl EngineConfig {
             trace_stages: false,
             resilience: None,
             trace_depth: TraceDepth::Off,
+            sim_threads: None,
             seed: 42,
         }
     }
@@ -249,6 +256,12 @@ impl EngineConfig {
     /// Enable the retry/timeout/failover policy.
     pub fn with_resilience(mut self, policy: ResiliencePolicy) -> Self {
         self.resilience = Some(policy);
+        self
+    }
+
+    /// Pin the intra-run worker count (overrides `DELIBA_SIM_THREADS`).
+    pub fn with_sim_threads(mut self, threads: usize) -> Self {
+        self.sim_threads = Some(threads.max(1));
         self
     }
 
@@ -372,6 +385,10 @@ pub struct Engine {
     /// Conservative time-window accounting from the most recent run
     /// (zeros when the sharded queue is disabled).
     windows: WindowStats,
+    /// Prepared data for the op the commit loop is about to execute
+    /// (parallel runs only; serial runs never set it).  Consumed by the
+    /// next write attempt; retries fall back to the inline path.
+    prepared_next: Option<crate::prepare::PreparedOp>,
     /// The card is faulted: route I/O over the software host path.
     fpga_down: bool,
     /// When the outstanding card fault began (time-to-recover basis).
@@ -428,6 +445,7 @@ impl Engine {
             faults: None,
             res: ResilienceCounters::default(),
             windows: WindowStats::default(),
+            prepared_next: None,
             fpga_down: false,
             card_fault_at: None,
             trace,
@@ -555,19 +573,9 @@ impl Engine {
     }
 
     fn checksum(data: &[u8]) -> u64 {
-        // FNV-1a over 64-bit words (byte-wise tail) — cheap, deterministic,
-        // and only ever compared against itself within one run.
-        let mut h = 0xcbf29ce484222325u64;
-        let mut words = data.chunks_exact(8);
-        for w in words.by_ref() {
-            h ^= u64::from_le_bytes(w.try_into().expect("exact chunk"));
-            h = h.wrapping_mul(0x100000001b3);
-        }
-        for &b in words.remainder() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-        h
+        // FNV-1a, single-sourced with the prepare pipeline so workers
+        // and the commit loop can never disagree on a sum.
+        crate::prepare::SharedCtx::fnv_checksum(data)
     }
 
     /// Fill the recycled scratch buffer with `len` deterministic payload
@@ -838,7 +846,22 @@ impl Engine {
 
         // --- PCIe + card + FPGA network stack ---------------------------
         let mut ec_shards: Option<(Vec<Vec<u8>>, usize)> = None;
-        let payload = write.then(|| self.payload_for(op.len as usize));
+        // Payload content never reaches report bytes (timing keys on
+        // `op.len`; checksums are recorded and verified within the same
+        // run), so parallel runs may source it from the prepare
+        // pipeline's per-op streams while serial runs keep the engine
+        // RNG stream.  Retries find `prepared_next` consumed and fall
+        // back inline.
+        let mut prepared_sum: Option<u64> = None;
+        let mut prepared_shards: Option<Vec<Vec<u8>>> = None;
+        let payload = write.then(|| match self.prepared_next.take() {
+            Some(p) => {
+                prepared_sum = Some(p.checksum);
+                prepared_shards = p.shards;
+                p.payload
+            }
+            None => self.payload_for(op.len as usize),
+        });
         if use_fpga {
             // Payload (writes) or command (reads) crosses PCIe.
             let dma_bytes = if write { bytes } else { 256 };
@@ -898,11 +921,16 @@ impl Engine {
                 t += place_eff;
                 span_accel_card += place_eff;
             }
-            // EC writes: the RS accelerator encodes on the card.
+            // EC writes: the RS accelerator encodes on the card (shards
+            // precomputed by the prepare pipeline when one is running —
+            // identical bytes, cycle budget and counters either way).
             if write && self.cfg.mode == Mode::ErasureCoding {
                 let card = self.card.as_mut().expect("fpga config has a card");
                 let data = payload.as_ref().expect("write has payload");
-                let (shards, enc_t) = card.encode(data);
+                let (shards, enc_t) = match prepared_shards.take() {
+                    Some(s) => card.encode_prepared(s, data.len()),
+                    None => card.encode(data),
+                };
                 let enc_eff = if self.cfg.features.rtl_accel {
                     enc_t
                 } else {
@@ -920,10 +948,16 @@ impl Engine {
             }
         } else if write && self.cfg.mode == Mode::ErasureCoding {
             // Software baseline: encode on the host (time already charged
-            // by host_costs; compute the real shards here).
+            // by host_costs; compute the real shards here, or take the
+            // prepare pipeline's — same codec, same bytes).
             let data = payload.as_ref().expect("write has payload");
-            let rs = deliba_ec::ReedSolomon::new(4, 2);
-            ec_shards = Some((rs.encode(data), data.len()));
+            let shards = match prepared_shards.take() {
+                // Guard on the shard count: the pipeline prepares with
+                // the card's profile, the software fallback is RS(4, 2).
+                Some(s) if s.len() == 6 => s,
+                _ => deliba_ec::ReedSolomon::new(4, 2).encode(data),
+            };
+            ec_shards = Some((shards, data.len()));
         }
 
         // A dropped request frame vanishes between the NIC and the OSD:
@@ -953,7 +987,7 @@ impl Engine {
                 let data = payload.as_ref().expect("write has payload");
                 pending_write_sum = Some((
                     (obj.name, (op.offset % self.image.object_size) as u32),
-                    Self::checksum(data),
+                    prepared_sum.take().unwrap_or_else(|| Self::checksum(data)),
                 ));
                 self.cluster
                     .write_replicated_at(t, obj, obj_off as usize, data, op.random)
@@ -987,7 +1021,10 @@ impl Engine {
                 let (shards, orig_len) = ec_shards.expect("EC write encoded");
                 let oid = self.ec_oid(obj.name, op.offset);
                 let data = payload.as_ref().expect("write has payload");
-                pending_write_sum = Some(((oid.name, 0), Self::checksum(data)));
+                pending_write_sum = Some((
+                    (oid.name, 0),
+                    prepared_sum.take().unwrap_or_else(|| Self::checksum(data)),
+                ));
                 self.cluster
                     .write_ec_shards(t, oid, orig_len, shards, op.random)
             }
@@ -1149,8 +1186,60 @@ impl Engine {
         AttemptResult::Done { start, complete }
     }
 
+    /// Effective intra-run thread count: the config override when set,
+    /// else `DELIBA_SIM_THREADS`, else 1 (serial).
+    fn sim_threads(&self) -> usize {
+        self.cfg
+            .sim_threads
+            .unwrap_or_else(deliba_sim::parexec::threads_from_env)
+            .max(1)
+    }
+
+    /// Shared context for the prepare pipeline: a payload stream seed
+    /// from the engine RNG's jump stream (so parallel runs never touch
+    /// the serial payload stream) plus the run's EC profile.
+    fn prepare_ctx(&mut self) -> crate::prepare::SharedCtx {
+        let seed = self.rng.jump().next_u64();
+        let ec_km = (self.cfg.mode == Mode::ErasureCoding).then(|| {
+            self.card
+                .as_ref()
+                .map(|c| (c.rs_codec().k(), c.rs_codec().m()))
+                .unwrap_or((4, 2))
+        });
+        crate::prepare::SharedCtx::new(seed, ec_km)
+    }
+
     /// Run per-job traces closed-loop with the given queue depth.
+    ///
+    /// With an effective thread count above one (config override or
+    /// `DELIBA_SIM_THREADS`), write payloads / checksums / EC shards are
+    /// prepared by a worker pool racing ahead of the serial commit loop;
+    /// the report stays byte-identical to the single-threaded run (see
+    /// the `prepare` module).
     pub fn run_trace(&mut self, jobs: Vec<Vec<TraceOp>>, iodepth: u32) -> RunReport {
+        let threads = self.sim_threads();
+        if threads <= 1 || !jobs.iter().flatten().any(|op| op.write) {
+            return self.run_trace_inner(&jobs, iodepth, None);
+        }
+        let pipe =
+            crate::prepare::Pipeline::new(crate::prepare::TraceSource(&jobs), self.prepare_ctx());
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads - 1 {
+                s.spawn(|_| pipe.worker());
+            }
+            let report = self.run_trace_inner(&jobs, iodepth, Some(&pipe));
+            pipe.shutdown();
+            report
+        })
+        .expect("prepare workers do not panic")
+    }
+
+    fn run_trace_inner(
+        &mut self,
+        jobs: &[Vec<TraceOp>],
+        iodepth: u32,
+        prep: Option<&crate::prepare::Pipeline<crate::prepare::TraceSource<'_>>>,
+    ) -> RunReport {
         let mut hist = Histogram::new();
         let mut counter = Counter::new();
         let mut cursors: Vec<usize> = vec![0; jobs.len()];
@@ -1195,6 +1284,9 @@ impl Engine {
                     }
                     cursors[job as usize] += 1;
                     let op = jobs[job as usize][idx];
+                    if let Some(p) = prep {
+                        self.prepared_next = p.fetch(job as usize, idx, op.len as usize, op.write);
+                    }
                     let io = io_seq;
                     io_seq += 1;
                     // Application compute between ops runs on the app's
@@ -1277,6 +1369,9 @@ impl Engine {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_invalidations: cache.invalidations,
+            windows: self.windows.windows,
+            window_events: self.windows.drained,
+            window_width_ns: self.windows.width_ns,
         });
         // The resilience block appears only when the fault plane or the
         // policy is active, so baseline reports stay byte-identical.
@@ -1302,6 +1397,31 @@ impl Engine {
             stream.windows(2).all(|w| w[0].at <= w[1].at),
             "open-loop stream must be time-sorted"
         );
+        let threads = self.sim_threads();
+        if threads <= 1 || !stream.iter().any(|a| a.op.write) {
+            return self.run_open_loop_inner(stream, admission_cap, None);
+        }
+        let pipe = crate::prepare::Pipeline::new(
+            crate::prepare::StreamSource(stream.iter().map(|a| (a.op.len, a.op.write)).collect()),
+            self.prepare_ctx(),
+        );
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads - 1 {
+                s.spawn(|_| pipe.worker());
+            }
+            let run = self.run_open_loop_inner(stream, admission_cap, Some(&pipe));
+            pipe.shutdown();
+            run
+        })
+        .expect("prepare workers do not panic")
+    }
+
+    fn run_open_loop_inner(
+        &mut self,
+        stream: &[ArrivalOp],
+        admission_cap: u32,
+        prep: Option<&crate::prepare::Pipeline<crate::prepare::StreamSource>>,
+    ) -> OpenLoopRun {
         let mut hist = Histogram::new();
         let mut counter = Counter::new();
         // The queue never holds more than the in-flight completions, the
@@ -1330,6 +1450,7 @@ impl Engine {
             }
             let (lane, io, op, attempt, first_start, intended) = match token {
                 OpenToken::Arrive => {
+                    let idx = cursor;
                     let op = stream[cursor].op;
                     cursor += 1;
                     if cursor < stream.len() {
@@ -1343,7 +1464,13 @@ impl Engine {
                         // Admission queue full: the op is refused at its
                         // arrival instant — a load shed, not a deferral.
                         dropped += 1;
+                        if let Some(p) = prep {
+                            p.advance(0, idx);
+                        }
                         continue;
+                    }
+                    if let Some(p) = prep {
+                        self.prepared_next = p.fetch(0, idx, op.len as usize, op.write);
                     }
                     inflight += 1;
                     let io = admitted;
@@ -1432,6 +1559,9 @@ impl Engine {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_invalidations: cache.invalidations,
+            windows: self.windows.windows,
+            window_events: self.windows.drained,
+            window_width_ns: self.windows.width_ns,
         });
         if self.faults.is_some() || self.cfg.resilience.is_some() {
             report.resilience = Some(self.resilience_counters());

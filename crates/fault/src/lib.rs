@@ -306,6 +306,15 @@ impl FaultPlane {
         self.timeline.len() - self.next
     }
 
+    /// The instant of the next scheduled fault, if any remain.  Window
+    /// executors clip their conservative horizon here: a batch whose
+    /// events all commit strictly before the next state mutation cannot
+    /// observe it, so parallel execution stays exact across fault
+    /// boundaries without replaying or locking the plane.
+    pub fn next_due_at(&self) -> Option<SimTime> {
+        self.timeline.get(self.next).map(|f| f.at)
+    }
+
     /// Uniform draw in `[0, 1)` from the plane's own stream — the
     /// deterministic jitter source for backoff randomization.
     pub fn jitter_unit(&mut self) -> f64 {

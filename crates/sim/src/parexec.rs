@@ -1,0 +1,363 @@
+//! Parallel execution of conservative time-windows.
+//!
+//! PR 7's [`ShardedEventQueue`] derives conservative windows: once the
+//! lookahead `L` (minimum link propagation + OSD service floor) is in
+//! force, every event strictly below `horizon = frontier_min + L` is
+//! committed — nothing that still pends can schedule work under the
+//! horizon.  Those events therefore need only *per-lane* ordering, and
+//! a window can execute its lanes concurrently provided
+//!
+//! 1. each lane's events run in `(at, seq)` order on one worker,
+//! 2. every cross-lane effect — newly scheduled events, side-channel
+//!    notes such as trace records — is buffered per event and merged at
+//!    the window barrier in the window's global `(at, seq)` order, and
+//! 3. shared state is read-only for the duration of the window (the
+//!    caller clips windows at instants where shared state mutates —
+//!    scheduled faults, map changes).
+//!
+//! Under those rules the executor's output is a pure function of the
+//! schedule history: **byte-identical for every thread count**,
+//! including the serial `threads = 1` path, which runs the same
+//! partition/merge code inline.  The differential proptest
+//! (`crates/sim/tests/prop_parexec.rs`) pins this against the single
+//! heap for random mixed schedules.
+//!
+//! The worker-count control is [`THREADS_ENV`] (`DELIBA_SIM_THREADS`,
+//! default 1); [`crate::sharded::DISABLE_ENV`] still forces the single
+//! heap, which has no window machinery at all.
+//!
+//! State partitioning is expressed through two marker traits:
+//! [`LaneState`] for per-lane mutable state (exactly one worker touches
+//! it per window) and [`SharedState`] for cluster-wide state workers
+//! may only read.  Subsystem crates tag their types (blk-mq hardware
+//! contexts, QDMA descriptor rings, OSD maps…) so the partition is
+//! compile-checked where the executor is used.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::sharded::ShardedEventQueue;
+use crate::time::SimTime;
+
+/// Worker-count env var for intra-run parallelism. `1` (or unset)
+/// selects the serial path; values above 1 enable the worker pool.
+pub const THREADS_ENV: &str = "DELIBA_SIM_THREADS";
+
+/// Worker count from [`THREADS_ENV`]: default 1, floor 1; unparsable
+/// values fall back to 1 (serial) rather than erroring, so a stray
+/// value can never change simulation output — only wall-clock.
+pub fn threads_from_env() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Per-lane mutable simulation state: owned by exactly one lane (event
+/// queue shard).  During a parallel window exactly one worker holds the
+/// lane, so `Send` suffices — no interior synchronisation is required
+/// of implementors.
+pub trait LaneState: Send {}
+
+/// State shared across lanes during a window: workers only read it
+/// (`Sync`), and mutations happen strictly between windows (at the
+/// barrier, or at clip instants the caller handles serially).
+pub trait SharedState: Sync {}
+
+/// Cross-lane effects buffered by one event's handler invocation,
+/// merged at the window barrier in the window's global `(at, seq)`
+/// order.
+pub struct Effects<E, N> {
+    events: Vec<(usize, SimTime, E)>,
+    notes: Vec<N>,
+}
+
+impl<E, N> Effects<E, N> {
+    fn new() -> Self {
+        Effects { events: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Schedule a successor event on `shard` at `at`.  The conservative
+    /// contract requires `at` to be at or past the window horizon; the
+    /// merge asserts it (debug builds) before handing the event to the
+    /// queue.
+    pub fn schedule(&mut self, shard: usize, at: SimTime, payload: E) {
+        self.events.push((shard, at, payload));
+    }
+
+    /// Emit an ordered side-channel note (e.g. a trace record).  Notes
+    /// reach the caller's sink in merge order, so per-worker buffers
+    /// stitch back into the exact serial emission sequence.
+    pub fn note(&mut self, note: N) {
+        self.notes.push(note);
+    }
+}
+
+/// What one [`WindowExecutor::run_window`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowOutcome {
+    /// The queue was empty — nothing to run.
+    Empty,
+    /// The frontier event sits at or past the clip instant: shared
+    /// state mutates there, so the caller must handle it serially
+    /// (apply the mutation, re-derive the lookahead) before the next
+    /// window.
+    Clipped(SimTime),
+    /// A window of this many events executed and merged.
+    Executed(usize),
+}
+
+/// A scoped worker pool executing conservative windows of a
+/// [`ShardedEventQueue`].
+///
+/// The executor owns no threads between calls: each window spawns
+/// scoped workers (the same crossbeam scoped-thread pattern as the
+/// bench runner's `par_map`), which keeps lifetimes simple and costs
+/// little next to a window's worth of simulation work.  `threads = 1`
+/// runs the identical drain → partition → execute → merge sequence
+/// inline.
+pub struct WindowExecutor {
+    threads: usize,
+}
+
+impl WindowExecutor {
+    /// An executor with an explicit worker count (floored at 1).
+    pub fn new(threads: usize) -> Self {
+        WindowExecutor { threads: threads.max(1) }
+    }
+
+    /// An executor sized by [`THREADS_ENV`].
+    pub fn from_env() -> Self {
+        Self::new(threads_from_env())
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute one conservative window: drain it (clipped at `clip` if
+    /// given), run each lane's events in order — concurrently across
+    /// lanes when `threads > 1` — and merge all effects at the barrier
+    /// in global `(at, seq)` order.
+    ///
+    /// `lanes[shard]` is the lane state handed exclusively to the
+    /// worker executing `shard`'s partition; `shared` is read-only for
+    /// the window.  `handler` must be a pure function of
+    /// `(shared, lane, event)` — any randomness must live in the lane
+    /// state.  `sink` receives every note in merge order.
+    pub fn run_window<E, L, S, N, H, K>(
+        &mut self,
+        queue: &mut ShardedEventQueue<E>,
+        lanes: &mut [L],
+        shared: &S,
+        handler: &H,
+        sink: &mut K,
+        clip: Option<SimTime>,
+    ) -> WindowOutcome
+    where
+        E: Send,
+        L: LaneState,
+        S: SharedState,
+        N: Send,
+        H: Fn(&S, usize, &mut L, SimTime, E, &mut Effects<E, N>) + Sync,
+        K: FnMut(SimTime, N),
+    {
+        let Some(frontier) = queue.peek_time() else {
+            return WindowOutcome::Empty;
+        };
+        if clip.is_some_and(|c| frontier >= c) {
+            return WindowOutcome::Clipped(frontier);
+        }
+        let mut horizon = frontier + queue.lookahead();
+        if let Some(c) = clip {
+            horizon = horizon.min(c);
+        }
+
+        let mut batch: Vec<(SimTime, u64, u32, E)> = Vec::new();
+        let n = queue.drain_window_tagged_into(clip, &mut batch);
+        debug_assert!(n > 0, "non-empty queue below clip must drain");
+
+        // Partition the window by shard, preserving each lane's global
+        // order (the batch is already `(at, seq)`-sorted, so a stable
+        // partition keeps per-lane order).
+        let mut groups: Vec<(u32, Vec<usize>)> = Vec::new();
+        for (i, &(_, _, shard, _)) in batch.iter().enumerate() {
+            match groups.iter_mut().find(|g| g.0 == shard) {
+                Some(g) => g.1.push(i),
+                None => groups.push((shard, vec![i])),
+            }
+        }
+
+        // Per-event slots: the event moves in, its effects come out.
+        // Each slot is touched by exactly one worker, so every lock is
+        // uncontended — the Mutex is there to keep the pool safe
+        // without `unsafe`.
+        let cells: Vec<Mutex<(SimTime, Option<E>)>> = batch
+            .drain(..)
+            .map(|(at, _, _, ev)| Mutex::new((at, Some(ev))))
+            .collect();
+        let effects: Vec<Mutex<Effects<E, N>>> =
+            (0..cells.len()).map(|_| Mutex::new(Effects::new())).collect();
+        let lane_cells: Vec<Mutex<&mut L>> = lanes.iter_mut().map(Mutex::new).collect();
+
+        let run_group = |group: &(u32, Vec<usize>)| {
+            let (shard, idxs) = group;
+            let mut lane = lane_cells[*shard as usize]
+                .try_lock()
+                .expect("one worker per lane partition");
+            for &i in idxs {
+                let (at, ev) = {
+                    let mut cell = cells[i].try_lock().expect("one worker per event");
+                    (cell.0, cell.1.take().expect("event executed once"))
+                };
+                let mut fx = effects[i].try_lock().expect("one worker per event");
+                handler(shared, *shard as usize, &mut lane, at, ev, &mut fx);
+            }
+        };
+
+        let workers = self.threads.min(groups.len());
+        if workers <= 1 {
+            for g in &groups {
+                run_group(g);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            crossbeam::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|_| loop {
+                        let g = next.fetch_add(1, Ordering::Relaxed);
+                        if g >= groups.len() {
+                            break;
+                        }
+                        run_group(&groups[g]);
+                    });
+                }
+            })
+            .expect("window worker panicked");
+        }
+
+        // Barrier: merge every event's effects in window order.  Seq
+        // assignment happens here, in the same order the serial loop
+        // would have assigned it — that is what keeps the merged queue
+        // state byte-identical to serial execution.
+        for (cell, fx) in cells.iter().zip(&effects) {
+            let at = cell.try_lock().expect("workers joined").0;
+            let fx = &mut *fx.try_lock().expect("workers joined");
+            for (shard, succ_at, payload) in fx.events.drain(..) {
+                debug_assert!(
+                    succ_at >= horizon,
+                    "conservative contract violated: successor at {succ_at} below horizon {horizon}"
+                );
+                queue.schedule_at(shard, succ_at, payload);
+            }
+            for note in fx.notes.drain(..) {
+                sink(at, note);
+            }
+        }
+        WindowOutcome::Executed(cells.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    struct Lane {
+        hops: u64,
+    }
+    impl LaneState for Lane {}
+
+    struct Model {
+        step: SimDuration,
+        until: SimTime,
+    }
+    impl SharedState for Model {}
+
+    /// Deterministic toy model: every event re-schedules itself on its
+    /// own lane `step` later (≥ lookahead) until `until`, and notes its
+    /// timestamp.
+    fn handler(
+        m: &Model,
+        shard: usize,
+        lane: &mut Lane,
+        at: SimTime,
+        ev: u64,
+        fx: &mut Effects<u64, (u64, SimTime)>,
+    ) {
+        lane.hops += 1;
+        fx.note((ev, at));
+        let next = at + m.step;
+        if next < m.until {
+            fx.schedule(shard, next, ev);
+        }
+    }
+
+    fn run(threads: usize) -> (Vec<(u64, SimTime)>, Vec<u64>) {
+        let model = Model { step: SimDuration(10), until: SimTime(500) };
+        let mut q: ShardedEventQueue<u64> = ShardedEventQueue::new(4);
+        q.set_lookahead(SimDuration(10));
+        for lane in 0..4usize {
+            q.schedule_at(lane, SimTime(3 * lane as u64), lane as u64);
+        }
+        let mut lanes: Vec<Lane> = (0..4).map(|_| Lane { hops: 0 }).collect();
+        let mut log = Vec::new();
+        let mut ex = WindowExecutor::new(threads);
+        loop {
+            match ex.run_window(
+                &mut q,
+                &mut lanes,
+                &model,
+                &handler,
+                &mut |_, n| log.push(n),
+                None,
+            ) {
+                WindowOutcome::Empty => break,
+                WindowOutcome::Clipped(_) => unreachable!("no clip configured"),
+                WindowOutcome::Executed(_) => {}
+            }
+        }
+        (log, lanes.iter().map(|l| l.hops).collect())
+    }
+
+    #[test]
+    fn thread_count_does_not_change_execution() {
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), serial, "threads={threads} must match serial");
+        }
+        // The toy model's arithmetic sanity: 4 lanes × 50 hops each.
+        assert_eq!(serial.1, vec![50, 50, 50, 50]);
+        assert_eq!(serial.0.len(), 200);
+    }
+
+    #[test]
+    fn clip_stops_the_window_at_shared_mutations() {
+        let model = Model { step: SimDuration(50), until: SimTime(100) };
+        let mut q: ShardedEventQueue<u64> = ShardedEventQueue::new(2);
+        q.set_lookahead(SimDuration(50));
+        q.schedule_at(0, SimTime(10), 0);
+        q.schedule_at(1, SimTime(40), 1);
+        let mut lanes: Vec<Lane> = (0..2).map(|_| Lane { hops: 0 }).collect();
+        let mut ex = WindowExecutor::new(2);
+        let mut sink = |_: SimTime, _: (u64, SimTime)| {};
+        // Clip at 40: only the event at 10 runs, then the executor
+        // reports the clip so the caller can mutate shared state.
+        let got = ex.run_window(&mut q, &mut lanes, &model, &handler, &mut sink, Some(SimTime(40)));
+        assert_eq!(got, WindowOutcome::Executed(1));
+        let got = ex.run_window(&mut q, &mut lanes, &model, &handler, &mut sink, Some(SimTime(40)));
+        assert_eq!(got, WindowOutcome::Clipped(SimTime(40)));
+        // Caller "handles" the mutation; the rest of the run proceeds.
+        let got = ex.run_window(&mut q, &mut lanes, &model, &handler, &mut sink, None);
+        assert!(matches!(got, WindowOutcome::Executed(_)));
+    }
+
+    #[test]
+    fn env_parsing_is_safe() {
+        // No env manipulation here (tests run concurrently): only the
+        // pure fallback path is checkable deterministically.
+        assert!(threads_from_env() >= 1);
+    }
+}

@@ -69,6 +69,30 @@ pub struct WindowStats {
     /// Events drained strictly below an already-open window's horizon —
     /// pops the conservative rule had pre-committed.
     pub drained: u64,
+    /// Sum of window widths in nanoseconds (the lookahead in force when
+    /// each window opened) — `width_ns / windows` is the mean width.
+    pub width_ns: u64,
+}
+
+impl WindowStats {
+    /// Mean window width in nanoseconds (0.0 before the first window).
+    pub fn mean_width_ns(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.width_ns as f64 / self.windows as f64
+        }
+    }
+
+    /// Mean events per window — the window-open pop plus everything
+    /// drained under its horizon (0.0 before the first window).
+    pub fn events_per_window(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            (self.windows + self.drained) as f64 / self.windows as f64
+        }
+    }
 }
 
 /// One frontier-heap record: the shard's earliest key plus the shard id.
@@ -316,6 +340,42 @@ impl<E> ShardedEventQueue<E> {
         out.len() - n0
     }
 
+    /// [`drain_window_into`](Self::drain_window_into) with each event
+    /// tagged by its `(seq, shard)`, for callers that partition the
+    /// window by lane (the parallel window executor): entries stay in
+    /// global `(at, seq)` order, and a stable partition by `shard`
+    /// preserves each lane's internal order.  An optional `clip` bounds
+    /// the horizon (exclusive) so a window never spans an instant at
+    /// which shared state is known to mutate (a scheduled fault): events
+    /// at or past `clip` stay queued for the next window.
+    pub fn drain_window_tagged_into(
+        &mut self,
+        clip: Option<SimTime>,
+        out: &mut Vec<(SimTime, u64, u32, E)>,
+    ) -> usize {
+        let Some(min) = self.peek_time() else {
+            return 0;
+        };
+        if clip.is_some_and(|c| min >= c) {
+            // The frontier itself is at or past the clip: the caller
+            // must process it outside a parallel window (serially).
+            return 0;
+        }
+        let mut horizon = min + self.lookahead;
+        if let Some(c) = clip {
+            horizon = horizon.min(c);
+        }
+        let n0 = out.len();
+        out.push(self.pop_root_tagged());
+        while let Some(f) = self.frontier.first() {
+            if f.at >= horizon {
+                break;
+            }
+            out.push(self.pop_root_tagged());
+        }
+        out.len() - n0
+    }
+
     /// Window accounting for one pop at `at`.
     #[inline]
     fn note_pop(&mut self, at: SimTime) {
@@ -323,6 +383,7 @@ impl<E> ShardedEventQueue<E> {
             self.stats.drained += 1;
         } else {
             self.stats.windows += 1;
+            self.stats.width_ns += self.lookahead.as_nanos();
             self.horizon = at + self.lookahead;
         }
     }
@@ -370,6 +431,22 @@ impl<E> ShardedEventQueue<E> {
         self.remove_root(root);
         self.note_pop(at);
         (at, payload)
+    }
+
+    /// [`pop_root`](Self::pop_root), keeping the `(seq, shard)` tag.
+    fn pop_root_tagged(&mut self) -> (SimTime, u64, u32, E) {
+        let root = self.frontier[0];
+        let s = root.shard as usize;
+        let (at, seq, payload) = self.shards[s]
+            .head
+            .take()
+            .expect("frontier entry points at a live shard head");
+        debug_assert!(at >= self.now, "clock went backwards");
+        self.now = at;
+        self.len -= 1;
+        self.remove_root(root);
+        self.note_pop(at);
+        (at, seq, root.shard, payload)
     }
 
     /// Replace the frontier root after its shard's head was consumed:
@@ -697,12 +774,49 @@ mod tests {
         while q.pop().is_some() {}
         // 100 opens (horizon 110), 104 + 108 drain, 200 opens
         // (horizon 210), 205 drains.
-        assert_eq!(q.window_stats(), WindowStats { windows: 2, drained: 3 });
+        let s = q.window_stats();
+        assert_eq!(s, WindowStats { windows: 2, drained: 3, width_ns: 20 });
+        assert_eq!(s.mean_width_ns(), 10.0);
+        assert_eq!(s.events_per_window(), 2.5);
         // Shrinking the lookahead closes the open window.
         q.set_lookahead(SimDuration(2));
         q.schedule_at(0, SimTime(206), 9);
         q.pop();
-        assert_eq!(q.window_stats(), WindowStats { windows: 3, drained: 3 });
+        assert_eq!(q.window_stats(), WindowStats { windows: 3, drained: 3, width_ns: 22 });
+    }
+
+    #[test]
+    fn tagged_drain_matches_untagged_and_respects_clip() {
+        let build = || {
+            let mut q: ShardedEventQueue<u32> = ShardedEventQueue::new(3);
+            q.set_lookahead(SimDuration(10));
+            for (i, t) in [100u64, 103, 105, 109, 120].into_iter().enumerate() {
+                q.schedule_at(i % 3, SimTime(t), i as u32);
+            }
+            q
+        };
+        // Untagged and tagged drains agree on (at, payload).
+        let (mut a, mut b) = (build(), build());
+        let mut plain = Vec::new();
+        let mut tagged = Vec::new();
+        assert_eq!(a.drain_window_into(&mut plain), 4);
+        assert_eq!(b.drain_window_tagged_into(None, &mut tagged), 4);
+        let untag: Vec<_> = tagged.iter().map(|&(at, _, _, v)| (at, v)).collect();
+        assert_eq!(plain, untag);
+        // Seqs are strictly increasing (global order) and shards match
+        // the schedule's `i % 3` assignment.
+        for w in tagged.windows(2) {
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(tagged.iter().map(|t| t.2).collect::<Vec<_>>(), vec![0, 1, 2, 0]);
+        // A clip below the natural horizon shortens the window…
+        let mut c = build();
+        let mut out = Vec::new();
+        assert_eq!(c.drain_window_tagged_into(Some(SimTime(105)), &mut out), 2);
+        assert_eq!(out.last().map(|t| t.0), Some(SimTime(103)));
+        // …and a clip at or before the frontier drains nothing.
+        assert_eq!(c.drain_window_tagged_into(Some(SimTime(105)), &mut out), 0);
+        assert_eq!(c.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Differential property test for the parallel window executor: for
+//! random schedules and a deterministic successor model, the
+//! executor's merge order — at every thread count — must equal the
+//! single-heap reference's exact `(SimTime, seq)` pop order.
+//!
+//! The reference runs the same schedule through [`EventQueue`], popping
+//! one event at a time and scheduling its successors immediately — the
+//! serial semantics every parallel window must collapse to.  Both
+//! sides tie-break equal timestamps by insertion sequence, so the logs
+//! agree only if the executor schedules successors in exactly the
+//! order the serial loop would have.
+
+use deliba_sim::{
+    Effects, EventQueue, LaneState, SharedState, ShardedEventQueue, SimDuration, SimTime,
+    WindowExecutor, WindowOutcome,
+};
+use proptest::prelude::*;
+
+const MAX_SHARDS: usize = 6;
+
+/// Deterministic successor model: every event is a `(generation, tag)`
+/// pair; an event spawns `tag % 3` successors (each on its own offset)
+/// while generations remain, at `at + lookahead + mix(tag, k)` — at or
+/// past any window horizon by construction.
+fn successors(
+    lookahead: u64,
+    at: SimTime,
+    gens: u32,
+    tag: u64,
+) -> impl Iterator<Item = (SimTime, (u32, u64))> {
+    let n = if gens == 0 { 0 } else { tag % 3 };
+    (0..n).map(move |k| {
+        let mix = (tag ^ (k.wrapping_mul(0x9E37_79B9))) % 97;
+        (at + SimDuration(lookahead + mix), (gens - 1, tag.wrapping_add(k + 1)))
+    })
+}
+
+struct Lane;
+impl LaneState for Lane {}
+
+struct Model {
+    lookahead: u64,
+}
+impl SharedState for Model {}
+
+/// Run the schedule through the window executor at `threads`, logging
+/// every event in merge order.
+fn run_executor(
+    shards: usize,
+    lookahead: u64,
+    initial: &[(usize, u64, u32, u64)],
+    threads: usize,
+) -> Vec<(u64, u32, u64)> {
+    let mut q: ShardedEventQueue<(u32, u64)> = ShardedEventQueue::new(shards);
+    q.set_lookahead(SimDuration(lookahead));
+    for &(shard, at, gens, tag) in initial {
+        q.schedule_at(shard, SimTime(at), (gens, tag));
+    }
+    let mut lanes: Vec<Lane> = (0..shards).map(|_| Lane).collect();
+    let model = Model { lookahead };
+    let handler = |m: &Model,
+                   shard: usize,
+                   _lane: &mut Lane,
+                   at: SimTime,
+                   (gens, tag): (u32, u64),
+                   fx: &mut Effects<(u32, u64), (u32, u64)>| {
+        fx.note((gens, tag));
+        for (succ_at, ev) in successors(m.lookahead, at, gens, tag) {
+            fx.schedule(shard, succ_at, ev);
+        }
+    };
+    let mut ex = WindowExecutor::new(threads);
+    let mut log = Vec::new();
+    loop {
+        match ex.run_window(
+            &mut q,
+            &mut lanes,
+            &model,
+            &handler,
+            &mut |at: SimTime, (gens, tag)| log.push((at.0, gens, tag)),
+            None,
+        ) {
+            WindowOutcome::Empty => break,
+            WindowOutcome::Clipped(_) => unreachable!("no clip configured"),
+            WindowOutcome::Executed(_) => {}
+        }
+    }
+    log
+}
+
+/// The serial single-heap reference: same schedule, same model, exact
+/// `(SimTime, seq)` pop order with successors scheduled pop-by-pop.
+fn run_single_heap(
+    lookahead: u64,
+    initial: &[(usize, u64, u32, u64)],
+) -> Vec<(u64, u32, u64)> {
+    let mut q: EventQueue<(u32, u64)> = EventQueue::new();
+    for &(_, at, gens, tag) in initial {
+        q.schedule_at(SimTime(at), (gens, tag));
+    }
+    let mut log = Vec::new();
+    while let Some((at, (gens, tag))) = q.pop() {
+        log.push((at.0, gens, tag));
+        for (succ_at, ev) in successors(lookahead, at, gens, tag) {
+            q.schedule_at(succ_at, ev);
+        }
+    }
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every thread count — serial inline, modest pool, oversubscribed
+    /// pool — merges random multi-generation schedules to the exact
+    /// single-heap pop order, ties included.
+    #[test]
+    fn window_merge_equals_single_heap_order(
+        shards in 1..=MAX_SHARDS,
+        lookahead in 1u64..60,
+        seeds in proptest::collection::vec(
+            (0usize..MAX_SHARDS, 0u64..200, 0u32..4, 0u64..1_000),
+            1..24,
+        ),
+    ) {
+        let initial: Vec<(usize, u64, u32, u64)> = seeds
+            .into_iter()
+            .map(|(s, at, gens, tag)| (s % shards, at, gens, tag))
+            .collect();
+        let reference = run_single_heap(lookahead, &initial);
+        prop_assert!(!reference.is_empty());
+        for threads in [1usize, 2, 8] {
+            let got = run_executor(shards, lookahead, &initial, threads);
+            prop_assert_eq!(
+                &got, &reference,
+                "threads={} diverged from single-heap order", threads
+            );
+        }
+    }
+}
