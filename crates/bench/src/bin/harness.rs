@@ -13,6 +13,8 @@
 //!              ablation mtu breakdown
 //!              perf (wall-clock gate; never part of `all`)
 //!              chaos (fault-plane soak; never part of `all`)
+//!              recovery (degraded-mode SLO sweep; never part of `all`)
+//!              scrub (deep-scrub cadence vs bit-rot; never part of `all`)
 //!              trace (flight-recorder export; never part of `all`)
 //!              loadcurve (open-loop latency-under-load sweep; never
 //!                         part of `all`)
@@ -65,7 +67,7 @@ const ALL: &[&str] = &[
 const KNOWN: &[&str] = &[
     "all", "table1", "table2", "table3", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
     "power", "realworld", "headline", "dfx", "ablation", "mtu", "breakdown", "perf",
-    "chaos", "trace", "loadcurve",
+    "chaos", "recovery", "scrub", "trace", "loadcurve",
 ];
 
 /// The `--baseline` comparison: diff this run's cells against a
@@ -424,6 +426,8 @@ fn main() {
             "breakdown" => breakdown(),
             "perf" => perf(),
             "chaos" => chaos(),
+            "recovery" => recovery(),
+            "scrub" => scrub(),
             other => unreachable!("validated above: {other}"),
         };
         if !json {

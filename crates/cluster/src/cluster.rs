@@ -25,12 +25,12 @@ use deliba_crush::{MapBuilder, RuleStep};
 use deliba_ec::ReedSolomon;
 use deliba_net::{FrameConfig, Topology};
 use deliba_sim::{InstantKind, SimDuration, SimTime, TraceHandle, TraceLayer, Xoshiro256};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Cross-server commit-ack latency (tiny message, switch + stack).
-const ACK_CROSS_SERVER: SimDuration = SimDuration(4_000);
+pub(crate) const ACK_CROSS_SERVER: SimDuration = SimDuration(4_000);
 /// Same-server OSD-to-OSD forward/ack latency (loopback messenger).
-const ACK_SAME_SERVER: SimDuration = SimDuration(2_000);
+pub(crate) const ACK_SAME_SERVER: SimDuration = SimDuration(2_000);
 /// Size of a request/ack control message on the wire.
 const CONTROL_BYTES: u64 = 200;
 /// Cut-through pipeline latency: the primary begins forwarding to
@@ -101,19 +101,37 @@ type ShardPlacement = (usize, Vec<(i32, usize)>);
 
 /// The cluster.
 pub struct Cluster {
-    map: OsdMap,
-    osds: Vec<Osd>,
-    topology: Topology,
+    pub(crate) map: OsdMap,
+    pub(crate) osds: Vec<Osd>,
+    pub(crate) topology: Topology,
     per_server: usize,
     /// Where each replicated object's copies were written.
-    replica_dir: BTreeMap<ObjectId, Vec<i32>>,
+    pub(crate) replica_dir: BTreeMap<ObjectId, Vec<i32>>,
     /// Where each EC object's shards were written.
-    shard_dir: BTreeMap<ObjectId, ShardPlacement>,
+    pub(crate) shard_dir: BTreeMap<ObjectId, ShardPlacement>,
+    /// Copies that missed one or more writes while their OSD was down
+    /// (or awaiting backfill after a revive).  A `(osd, oid)` entry means
+    /// that OSD's stored bytes for the object are behind the authoritative
+    /// version: reads route around it and writes skip it until backfill
+    /// re-copies the whole object.
+    pub(crate) stale: BTreeSet<(i32, ObjectId)>,
+    /// Copies known (via checksum verification, modeling BlueStore's
+    /// per-extent CRCs) to hold silently corrupted bytes.  Reads route
+    /// around them; deep scrub finds and repairs them.
+    pub(crate) corrupted: BTreeSet<(i32, ObjectId)>,
+    /// Reads that had to route around a stale or corrupt copy.
+    pub(crate) bad_copy_skips: u64,
+    /// Cluster-dynamics mode (set when the engine arms a recovery
+    /// scheduler): partial writes additionally skip stale/missing
+    /// copies, leaving them to backfill instead of layering new extents
+    /// over holes.  Off by default so legacy runs keep their exact
+    /// write fan-out.
+    pub(crate) dynamics: bool,
     /// Recycled acting-set buffer: the data-path methods fill it via
     /// [`OsdMap::acting_set_into`] instead of allocating per I/O.
     acting_scratch: Vec<i32>,
     /// Flight recorder (full-depth recording marks each OSD service).
-    trace: TraceHandle,
+    pub(crate) trace: TraceHandle,
 }
 
 impl Cluster {
@@ -169,6 +187,10 @@ impl Cluster {
             per_server,
             replica_dir: BTreeMap::new(),
             shard_dir: BTreeMap::new(),
+            stale: BTreeSet::new(),
+            corrupted: BTreeSet::new(),
+            bad_copy_skips: 0,
+            dynamics: false,
             acting_scratch: Vec::new(),
             trace: TraceHandle::off(),
         }
@@ -254,12 +276,40 @@ impl Cluster {
         self.map.mark_osd_down(osd);
     }
 
-    /// Revive an OSD.  Objects it missed while down are healed by
-    /// [`Cluster::recover`]; until then, degraded reads work through the
-    /// copy directory.
+    /// Revive an OSD.  Objects that were overwritten while it was down
+    /// are in the [`Cluster::stale`] registry: reads route around them
+    /// and writes skip them until backfill re-copies each object, so a
+    /// revived OSD can never serve bytes it missed.
     pub fn revive_osd(&mut self, osd: i32) {
         self.osds[osd as usize].set_up(true);
         self.map.mark_osd_up(osd);
+    }
+
+    /// Is an OSD currently up?
+    pub fn osd_is_up(&self, osd: i32) -> bool {
+        self.osds[osd as usize].is_up()
+    }
+
+    /// Reads that had to route around a stale or corrupt copy so far.
+    pub fn bad_copy_skips(&self) -> u64 {
+        self.bad_copy_skips
+    }
+
+    /// Copies currently registered as stale (awaiting backfill).
+    pub fn stale_copies(&self) -> usize {
+        self.stale.len()
+    }
+
+    /// Copies currently registered as silently corrupted (awaiting deep
+    /// scrub).
+    pub fn corrupted_copies(&self) -> usize {
+        self.corrupted.len()
+    }
+
+    /// Arm cluster-dynamics mode (see the `dynamics` field): the engine
+    /// sets this when a recovery scheduler is configured.
+    pub fn set_dynamics(&mut self, on: bool) {
+        self.dynamics = on;
     }
 
     /// Recovery / backfill pass for a pool (what Ceph's recovery state
@@ -476,6 +526,20 @@ impl Cluster {
             .topology
             .server_to_client(commit, p_server, CONTROL_BYTES);
         let degraded = healthy.len() < size;
+        // A holder that missed this write now has an old version: stale
+        // until backfilled.  A full-object replace heals staleness and
+        // corruption on every copy that received it.
+        if let Some(prev) = self.replica_dir.get(&oid) {
+            for &h in prev {
+                if !healthy.contains(&h) {
+                    self.stale.insert((h, oid));
+                }
+            }
+        }
+        for &h in &healthy {
+            self.stale.remove(&(h, oid));
+            self.corrupted.remove(&(h, oid));
+        }
         self.replica_dir.insert(oid, healthy);
         Some(IoOutcome {
             complete: done,
@@ -505,10 +569,23 @@ impl Cluster {
         let pg = pool.pg_of(oid);
         let mut acting = std::mem::take(&mut self.acting_scratch);
         self.map.acting_set_into(pg, &mut acting);
+        // In dynamics mode a stale copy (missed writes while its OSD was
+        // down) cannot take a partial write — layering new extents over
+        // missing ones would corrupt it silently — and neither can an
+        // acting member that does not hold the object yet: both wait
+        // for backfill to re-copy the whole object.
+        let dynamics = self.dynamics;
+        let written = dynamics && self.replica_dir.contains_key(&oid);
         let healthy: Vec<i32> = acting
             .iter()
             .copied()
-            .filter(|&o| self.osds[o as usize].is_up())
+            .filter(|&o| {
+                self.osds[o as usize].is_up()
+                    && (!dynamics
+                        || (!self.stale.contains(&(o, oid))
+                            && (!written
+                                || self.osds[o as usize].store().version(oid).is_some())))
+            })
             .collect();
         self.acting_scratch = acting;
         let primary = *healthy.first()?;
@@ -547,6 +624,16 @@ impl Cluster {
             .topology
             .server_to_client(commit, p_server, CONTROL_BYTES);
         let degraded = healthy.len() < size;
+        // Holders that missed this partial write fall behind; unlike a
+        // full replace, the copies that did receive it are *not* healed
+        // of prior staleness/corruption (the write touches one extent).
+        if let Some(prev) = self.replica_dir.get(&oid) {
+            for &h in prev {
+                if !healthy.contains(&h) {
+                    self.stale.insert((h, oid));
+                }
+            }
+        }
         self.replica_dir.insert(oid, healthy);
         Some(IoOutcome {
             complete: done,
@@ -611,6 +698,21 @@ impl Cluster {
             }
             if written && self.osds[osd as usize].store().version(oid).is_none() {
                 // Copy not present here (remapped but not recovered).
+                degraded = true;
+                continue;
+            }
+            if self.stale.contains(&(osd, oid)) {
+                // This copy missed writes while its OSD was down (a
+                // revived OSD awaiting backfill must never serve the
+                // bytes it missed): route to an up-to-date copy.
+                self.bad_copy_skips += 1;
+                degraded = true;
+                continue;
+            }
+            if self.corrupted.contains(&(osd, oid)) {
+                // Checksum verification (BlueStore's per-extent CRCs)
+                // rejects the copy; deep scrub will repair it.
+                self.bad_copy_skips += 1;
                 degraded = true;
                 continue;
             }
@@ -765,6 +867,9 @@ impl Cluster {
             commit = commit.max(ack);
             last_arrive = last_arrive.max(arrive);
             last_fin = last_fin.max(fin);
+            // A full shard replace heals prior staleness/corruption.
+            self.stale.remove(&(osd, oid));
+            self.corrupted.remove(&(osd, oid));
             placed.push((osd, idx));
             written += 1;
         }
@@ -823,6 +928,13 @@ impl Cluster {
                 break;
             }
             if !self.osds[osd as usize].is_up() {
+                skipped_any = true;
+                continue;
+            }
+            if self.corrupted.contains(&(osd, oid)) {
+                // A checksum-rejected shard counts as missing; the
+                // decoder reconstructs from the surviving k.
+                self.bad_copy_skips += 1;
                 skipped_any = true;
                 continue;
             }
@@ -1281,6 +1393,66 @@ mod tests {
         let parity_holder = placed.iter().find(|&&(_, idx)| idx >= 4).unwrap().0;
         c.corrupt_object(parity_holder, oid_ec(5));
         assert_eq!(c.scrub(2).inconsistencies, 1);
+    }
+
+    #[test]
+    fn revived_osd_does_not_serve_stale_bytes() {
+        // Regression: an OSD that missed writes while down must not
+        // serve its stale copy after revival — reads route to an
+        // up-to-date copy until backfill heals it.
+        let mut c = Cluster::paper_testbed(21);
+        let oid = oid_rep(55);
+        c.write_replicated(SimTime::ZERO, oid, payload(4096, 1), true)
+            .unwrap();
+        let primary = c.replica_dir.get(&oid).unwrap()[0];
+        c.fail_osd(primary);
+        let w = c
+            .write_replicated(SimTime::from_nanos(1000), oid, payload(4096, 2), true)
+            .unwrap();
+        c.revive_osd(primary);
+        assert!(c.stale.contains(&(primary, oid)), "missed write marks the copy stale");
+        let (read, r) = c.read_replicated(w.complete, oid, 0, 4096, true).unwrap();
+        assert_eq!(read, payload(4096, 2), "stale copy must not be served");
+        assert!(r.degraded, "routing around a stale copy is a degraded read");
+        assert!(c.bad_copy_skips() > 0);
+        // A later full-object write heals the copy: no longer stale.
+        let w2 = c
+            .write_replicated(w.complete, oid, payload(4096, 3), true)
+            .unwrap();
+        assert!(!c.stale.contains(&(primary, oid)));
+        let (read2, r2) = c.read_replicated(w2.complete, oid, 0, 4096, true).unwrap();
+        assert_eq!(read2, payload(4096, 3));
+        assert!(!r2.degraded);
+    }
+
+    #[test]
+    fn corrupt_registered_copy_is_skipped_on_read() {
+        let mut c = Cluster::paper_testbed(22);
+        let oid = oid_rep(8);
+        let data = payload(4096, 9);
+        let w = c
+            .write_replicated(SimTime::ZERO, oid, data.clone(), true)
+            .unwrap();
+        let primary = c.replica_dir.get(&oid).unwrap()[0];
+        assert!(c.corrupt_object(primary, oid));
+        c.corrupted.insert((primary, oid));
+        let (read, r) = c.read_replicated(w.complete, oid, 0, 4096, true).unwrap();
+        assert_eq!(read, data, "checksum-rejected copy must not be served");
+        assert!(r.degraded);
+
+        // EC: a corrupt shard counts as missing; reconstruction from the
+        // surviving shards still returns the exact bytes.
+        let eid = oid_ec(8);
+        let shards = ReedSolomon::new(4, 2).encode(&data);
+        let ew = c
+            .write_ec_shards(w.complete, eid, data.len(), shards, true)
+            .unwrap();
+        let (osd0, _) = c.shard_dir.get(&eid).unwrap().1[0];
+        assert!(c.corrupt_object(osd0, eid));
+        c.corrupted.insert((osd0, eid));
+        let (eread, er) = c.read_ec(ew.complete, eid, true).unwrap();
+        assert_eq!(eread, data);
+        assert!(er.degraded);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod osd;
 pub mod osdmap;
 pub mod pool;
 pub mod rbd;
+pub mod recovery;
 
 pub use cluster::{Cluster, IoOutcome};
 pub use object::{ObjectId, ObjectStore};
@@ -33,3 +34,4 @@ pub use osd::{Osd, OsdProfile};
 pub use osdmap::OsdMap;
 pub use pool::{PgId, PoolConfig, PoolKind};
 pub use rbd::RbdImage;
+pub use recovery::{PgHealth, RecoveryPolicy, RecoveryScheduler, RecoveryStats, ScrubTick};

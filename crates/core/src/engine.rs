@@ -20,7 +20,7 @@ use crate::hostpath::host_costs;
 use crate::report::RunReport;
 use crate::Generation;
 use crate::report::ResilienceCounters;
-use deliba_cluster::{Cluster, ObjectId, RbdImage};
+use deliba_cluster::{Cluster, ObjectId, RbdImage, RecoveryPolicy, RecoveryScheduler};
 use deliba_fault::{FailCause, FaultKind, FaultPlane, FaultSchedule, ResiliencePolicy};
 use deliba_fpga::accel::HLS_LATENCY_INFLATION;
 use deliba_fpga::{AlveoU280, RmId};
@@ -219,6 +219,11 @@ pub struct EngineConfig {
     /// commit loop executes events serially — reports stay
     /// byte-identical for every value, only wall-clock changes.
     pub sim_threads: Option<usize>,
+    /// Background recovery/backfill/scrub policy.  `None` (the default)
+    /// leaves cluster dynamics off entirely: no background tokens, no
+    /// extra event-queue shard, and `RunReport` carries no recovery
+    /// block — pre-existing runs stay byte-identical.
+    pub recovery: Option<RecoveryPolicy>,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -237,6 +242,7 @@ impl EngineConfig {
             resilience: None,
             trace_depth: TraceDepth::Off,
             sim_threads: None,
+            recovery: None,
             seed: 42,
         }
     }
@@ -262,6 +268,12 @@ impl EngineConfig {
     /// Pin the intra-run worker count (overrides `DELIBA_SIM_THREADS`).
     pub fn with_sim_threads(mut self, threads: usize) -> Self {
         self.sim_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Arm background recovery/backfill/scrub with the given policy.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
         self
     }
 
@@ -315,6 +327,13 @@ enum Token {
         attempt: u32,
         first_start: SimTime,
     },
+    /// Dispatch one backfill wave (or rescan when the queue drained).
+    /// Lives on the dedicated background shard; present only when a
+    /// recovery policy is armed.
+    Recovery,
+    /// Run one deep-scrub tick (periodic during foreground, then the
+    /// end-of-run drain passes).
+    Scrub,
 }
 
 /// Open-loop event token: the next intended arrival from the stream
@@ -332,6 +351,10 @@ enum OpenToken {
         first_start: SimTime,
         intended: SimTime,
     },
+    /// Backfill wave dispatch (background shard; armed runs only).
+    Recovery,
+    /// Deep-scrub tick (background shard; armed runs only).
+    Scrub,
 }
 
 /// Result of an open-loop run: the full report (latency columns measured
@@ -396,6 +419,20 @@ pub struct Engine {
     /// The flight recorder (disabled handle unless `cfg.trace_depth` is
     /// on; every layer below holds a clone of the same sink).
     trace: TraceHandle,
+    /// Background recovery/backfill/scrub scheduler (present iff
+    /// `cfg.recovery` armed a policy).  Every mutation happens in the
+    /// serial commit loop, so reports stay thread-count invariant.
+    recovery: Option<RecoveryScheduler>,
+    /// Silent corruptions injected by the fault plane's `BitRot` events.
+    bitrot_injected: u64,
+    /// A fault-plane topology mutation occurred since the last scan.
+    recovery_dirty: bool,
+    /// A `Recovery` token is in flight on the event queue.
+    recovery_live: bool,
+    /// Rescan rounds since recovery last went clean — a deterministic
+    /// bound so a topology that can never converge (not enough up OSDs)
+    /// cannot spin the event loop forever.
+    recovery_kicks: u32,
 }
 
 impl Engine {
@@ -409,6 +446,13 @@ impl Engine {
         let trace = TraceHandle::recording(cfg.trace_depth, deliba_sim::trace::RING_CAPACITY);
         let mut cluster = Cluster::paper_testbed_with_frames(cfg.seed, frames);
         cluster.set_trace(trace.clone());
+        let recovery = cfg.recovery.map(RecoveryScheduler::new);
+        if recovery.is_some() {
+            // Dynamics on: partial-write fan-out starts honoring the
+            // stale/backfill registries (reads always did — any stale
+            // consult without dynamics would have been a verify failure).
+            cluster.set_dynamics(true);
+        }
         let card = cfg.fpga.then(|| {
             let mut card = AlveoU280::deliba_k_default();
             card.set_trace(trace.clone());
@@ -449,6 +493,11 @@ impl Engine {
             fpga_down: false,
             card_fault_at: None,
             trace,
+            recovery,
+            bitrot_injected: 0,
+            recovery_dirty: false,
+            recovery_live: false,
+            recovery_kicks: 0,
         }
     }
 
@@ -477,6 +526,26 @@ impl Engine {
             res.dma_stalls = plane.dma.stalls();
         }
         res
+    }
+
+    /// Background-traffic counters (`None` unless a recovery policy is
+    /// armed): what backfill moved, what scrub found and repaired, and
+    /// how long the cluster spent degraded.
+    pub fn recovery_counters(&self) -> Option<crate::report::RecoveryCounters> {
+        let sched = self.recovery.as_ref()?;
+        Some(crate::report::RecoveryCounters {
+            objects_recovered: sched.stats.objects_recovered,
+            objects_repaired: sched.stats.objects_repaired,
+            unrecoverable: sched.unrecoverable_objects(),
+            recovery_ops: sched.stats.recovery_ops,
+            background_bytes: sched.stats.background_bytes,
+            scrub_objects: sched.stats.scrub_objects,
+            bitrot_injected: self.bitrot_injected,
+            bitrot_detected: sched.stats.bitrot_detected,
+            bitrot_repaired: sched.stats.bitrot_repaired,
+            degraded_reads: self.cluster.bad_copy_skips(),
+            time_to_clean_us: sched.stats.time_to_clean_us,
+        })
     }
 
     /// The configuration.
@@ -622,6 +691,7 @@ impl Engine {
                     // cache invalidates and retries re-place through the
                     // post-failure CRUSH walk.
                     self.cluster.fail_osd(osd);
+                    self.recovery_dirty = true;
                     self.res.osd_crashes += 1;
                     self.trace.instant_lane(
                         now,
@@ -640,6 +710,7 @@ impl Engine {
                 }
                 FaultKind::OsdRevive { osd } => {
                     self.cluster.revive_osd(osd);
+                    self.recovery_dirty = true;
                     self.trace.instant_lane(
                         now,
                         TraceLayer::Fault,
@@ -711,7 +782,96 @@ impl Engine {
                         }
                     }
                 }
+                FaultKind::BitRot { copies } => {
+                    // Disjoint field borrows: the cluster flips stored
+                    // bytes, drawing only from the plane's dedicated
+                    // bit-rot stream (chaos jitter streams untouched).
+                    let plane = self.faults.as_mut().expect("a due fault implies a plane");
+                    let rotten = self.cluster.inject_bitrot(copies, plane.bitrot_rng());
+                    self.bitrot_injected += rotten;
+                    self.trace
+                        .instant_lane(now, TraceLayer::Fault, 0, InstantKind::BitRot, rotten);
+                }
             }
+        }
+    }
+
+    /// After a fault-plane mutation: rescan for recovery work and, when
+    /// any is pending, return the first wave's wake-up instant (peering
+    /// `kick_delay` after `now`).  No-op unless a scheduler is armed,
+    /// the topology is dirty, and no `Recovery` token is already live.
+    fn recovery_kick(&mut self, now: SimTime) -> Option<SimTime> {
+        if !self.recovery_dirty || self.recovery_live {
+            return None;
+        }
+        self.recovery_dirty = false;
+        let sched = self.recovery.as_mut()?;
+        if self.cluster.recovery_scan(sched, now) {
+            self.recovery_live = true;
+            Some(now + sched.policy().kick_delay)
+        } else {
+            None
+        }
+    }
+
+    /// Drive one `Recovery` token: dispatch a backfill wave, or rescan
+    /// once the queue drains.  Returns the next token's instant, or
+    /// `None` when the cluster is clean again (or the livelock bound
+    /// tripped on a topology that cannot converge).
+    fn recovery_step(&mut self, now: SimTime) -> Option<SimTime> {
+        self.recovery_live = false;
+        let sched = self.recovery.as_mut()?;
+        let before = sched.stats.recovery_ops;
+        if let Some(fin) = self.cluster.backfill_wave(sched, now) {
+            let dispatched = sched.stats.recovery_ops - before;
+            self.trace
+                .instant(now, TraceLayer::Cluster, InstantKind::Backfill, dispatched);
+            self.recovery_live = true;
+            return Some(fin);
+        }
+        // Pending drained (or nothing dispatchable): rescan to pick up
+        // re-triaged and newly degraded work.
+        self.recovery_dirty = false;
+        if self.cluster.recovery_scan(sched, now) {
+            self.recovery_kicks += 1;
+            if self.recovery_kicks > 10_000 {
+                return None;
+            }
+            self.recovery_live = true;
+            Some(now + sched.policy().kick_delay)
+        } else {
+            self.recovery_kicks = 0;
+            sched.mark_clean(now);
+            None
+        }
+    }
+
+    /// Drive one `Scrub` token.  Periodic ticks pace at the policy's
+    /// interval; once the end-of-run drain starts, passes run
+    /// back-to-back until a full pass finds nothing — then the token
+    /// chain ends (return `None`) and the queue can empty.
+    fn scrub_step(&mut self, now: SimTime) -> Option<SimTime> {
+        let sched = self.recovery.as_mut()?;
+        let interval = sched.policy().scrub_interval;
+        let tick = self.cluster.scrub_tick(sched, now);
+        if tick.repaired > 0 {
+            self.trace.instant(
+                tick.finish,
+                TraceLayer::Cluster,
+                InstantKind::ScrubRepair,
+                tick.repaired,
+            );
+        }
+        if sched.scrub_draining() {
+            if tick.wrapped && self.cluster.scrub_pass_reset(sched) == 0 {
+                return None;
+            }
+            Some(tick.finish)
+        } else {
+            if tick.wrapped {
+                self.cluster.scrub_pass_reset(sched);
+            }
+            Some(tick.finish.max(now + interval))
         }
     }
 
@@ -1250,10 +1410,19 @@ impl Engine {
         // shard, so the common schedule/pop pair is a root rewrite plus
         // one sift over the lane frontier.
         let lanes = (jobs.len() * iodepth as usize).max(1);
-        let mut queue: LaneQueue<Token> = LaneQueue::new(lanes, lanes);
+        // One extra shard hosts the background recovery/scrub tokens —
+        // appended only when a scheduler is armed, so unarmed runs keep
+        // their exact shard count (and byte-identical reports).
+        let bg_shard = lanes;
+        let shards = lanes + self.recovery.is_some() as usize;
+        let mut queue: LaneQueue<Token> = LaneQueue::new(shards, shards);
         queue.set_lookahead(self.derive_lookahead(SimTime::ZERO));
+        // Foreground queue-depth slots still alive: when the last one
+        // dies on an exhausted cursor, scrub enters its drain passes.
+        let mut live_slots = 0usize;
         for (j, ops) in jobs.iter().enumerate() {
             let tokens = (iodepth as usize).min(ops.len());
+            live_slots += tokens;
             for k in 0..tokens {
                 let lane = (j * iodepth as usize + k) as u32;
                 queue.schedule_at(
@@ -1261,6 +1430,12 @@ impl Engine {
                     SimTime::from_nanos(100 * lane as u64),
                     Token::Slot { job: j as u32, lane },
                 );
+            }
+        }
+        if let Some(sched) = &self.recovery {
+            let p = sched.policy();
+            if p.scrub_interval > SimDuration::ZERO && live_slots > 0 {
+                queue.schedule_at(bg_shard, SimTime::ZERO + p.scrub_interval, Token::Scrub);
             }
         }
         // Flight-recorder identities: lanes are the global queue-depth
@@ -1274,11 +1449,38 @@ impl Engine {
             self.events += 1;
             if self.faults.is_some() && self.apply_due_faults(ready) {
                 queue.set_lookahead(self.derive_lookahead(ready));
+                if let Some(at) = self.recovery_kick(ready) {
+                    queue.schedule_at(bg_shard, at, Token::Recovery);
+                }
             }
             let (ready, job, lane, io, op, attempt, first_start) = match token {
+                Token::Recovery => {
+                    if let Some(at) = self.recovery_step(ready) {
+                        queue.schedule_at(bg_shard, at, Token::Recovery);
+                    }
+                    next = queue.pop();
+                    continue;
+                }
+                Token::Scrub => {
+                    if let Some(at) = self.scrub_step(ready) {
+                        queue.schedule_at(bg_shard, at, Token::Scrub);
+                    }
+                    next = queue.pop();
+                    continue;
+                }
                 Token::Slot { job, lane } => {
                     let idx = cursors[job as usize];
                     if idx >= jobs[job as usize].len() {
+                        live_slots -= 1;
+                        if live_slots == 0 {
+                            if let Some(s) = self.recovery.as_mut() {
+                                if s.policy().scrub_interval > SimDuration::ZERO
+                                    && !s.scrub_draining()
+                                {
+                                    s.start_scrub_drain();
+                                }
+                            }
+                        }
                         next = queue.pop();
                         continue;
                     }
@@ -1378,6 +1580,7 @@ impl Engine {
         if self.faults.is_some() || self.cfg.resilience.is_some() {
             report.resilience = Some(self.resilience_counters());
         }
+        report.recovery = self.recovery_counters();
         report
     }
 
@@ -1430,8 +1633,13 @@ impl Engine {
         // on their op's lane) plus a dedicated shard for the arrival
         // cursor's self-rescheduling chain.
         let arrive_shard = self.contexts.len();
+        // The background shard follows the arrival shard — appended only
+        // when a recovery scheduler is armed (unarmed shard counts are
+        // untouched).
+        let bg_shard = arrive_shard + 1;
+        let shards = arrive_shard + 1 + self.recovery.is_some() as usize;
         let mut queue: LaneQueue<OpenToken> =
-            LaneQueue::new(arrive_shard + 1, admission_cap as usize + 8);
+            LaneQueue::new(shards, admission_cap as usize + 8);
         queue.set_lookahead(self.derive_lookahead(SimTime::ZERO));
         let mut cursor = 0usize;
         let mut inflight: u32 = 0;
@@ -1442,13 +1650,38 @@ impl Engine {
         let mut last_complete = SimTime::ZERO;
         if !stream.is_empty() {
             queue.schedule_at(arrive_shard, stream[0].at, OpenToken::Arrive);
+            if let Some(sched) = &self.recovery {
+                let p = sched.policy();
+                if p.scrub_interval > SimDuration::ZERO {
+                    queue.schedule_at(
+                        bg_shard,
+                        stream[0].at + p.scrub_interval,
+                        OpenToken::Scrub,
+                    );
+                }
+            }
         }
         while let Some((now, token)) = queue.pop() {
             self.events += 1;
             if self.faults.is_some() && self.apply_due_faults(now) {
                 queue.set_lookahead(self.derive_lookahead(now));
+                if let Some(at) = self.recovery_kick(now) {
+                    queue.schedule_at(bg_shard, at, OpenToken::Recovery);
+                }
             }
             let (lane, io, op, attempt, first_start, intended) = match token {
+                OpenToken::Recovery => {
+                    if let Some(at) = self.recovery_step(now) {
+                        queue.schedule_at(bg_shard, at, OpenToken::Recovery);
+                    }
+                    continue;
+                }
+                OpenToken::Scrub => {
+                    if let Some(at) = self.scrub_step(now) {
+                        queue.schedule_at(bg_shard, at, OpenToken::Scrub);
+                    }
+                    continue;
+                }
                 OpenToken::Arrive => {
                     let idx = cursor;
                     let op = stream[cursor].op;
@@ -1486,6 +1719,17 @@ impl Engine {
                 }
                 OpenToken::Settle { intended, len } => {
                     inflight -= 1;
+                    if inflight == 0 && cursor >= stream.len() {
+                        // Foreground drained: scrub switches to its
+                        // end-of-run drain passes.
+                        if let Some(s) = self.recovery.as_mut() {
+                            if s.policy().scrub_interval > SimDuration::ZERO
+                                && !s.scrub_draining()
+                            {
+                                s.start_scrub_drain();
+                            }
+                        }
+                    }
                     hist.record(now.saturating_since(intended));
                     counter.record(len as u64);
                     last_complete = last_complete.max(now);
@@ -1566,6 +1810,7 @@ impl Engine {
         if self.faults.is_some() || self.cfg.resilience.is_some() {
             report.resilience = Some(self.resilience_counters());
         }
+        report.recovery = self.recovery_counters();
         OpenLoopRun { report, point }
     }
 
@@ -2039,6 +2284,112 @@ mod tests {
         assert_eq!(r.degraded_ops, 20);
         assert_eq!(res.availability(r.ops), 0.0);
         assert_eq!(r.verify_failures, 0, "failed writes never poison the checksum map");
+    }
+
+    // --- background recovery / scrub ----------------------------------
+
+    /// Write-once then read-back over distinct 4 MiB RBD objects, so
+    /// corruption injected after a write can never be masked by an
+    /// overwrite.
+    fn object_ops(objects: u64) -> Vec<TraceOp> {
+        let mut ops = Vec::new();
+        for i in 0..objects {
+            ops.push(TraceOp::write(i * (4 << 20), 4096, false));
+        }
+        for i in 0..objects {
+            ops.push(TraceOp::read(i * (4 << 20), 4096, false));
+        }
+        ops
+    }
+
+    #[test]
+    fn recovery_heals_mid_run_crash_and_reports_counters() {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication)
+            .with_resilience(ResiliencePolicy::default())
+            .with_recovery(RecoveryPolicy::default());
+        let mut e = Engine::new(cfg);
+        e.set_fault_schedule(FaultSchedule::new().osd_crash(ms(1), 3));
+        let r = e.run_trace(vec![object_ops(32)], 4);
+        assert_eq!(r.verify_failures, 0);
+        let rec = r.recovery.expect("armed run reports recovery counters");
+        assert!(rec.objects_recovered > 0, "backfill re-replicated: {rec:?}");
+        assert!(rec.recovery_ops > 0 && rec.background_bytes > 0, "{rec:?}");
+        assert_eq!(rec.unrecoverable, 0, "two copies survive every crash: {rec:?}");
+        assert!(
+            rec.time_to_clean_us > 0.0,
+            "the degraded episode must close before the run ends: {rec:?}"
+        );
+        // Unarmed baseline carries no recovery block at all.
+        let base = Engine::new(EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication))
+            .run_trace(vec![object_ops(8)], 4);
+        assert!(base.recovery.is_none());
+    }
+
+    #[test]
+    fn scrub_finds_and_repairs_all_injected_bitrot() {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication)
+            .with_recovery(
+                RecoveryPolicy::default().with_scrub(SimDuration::from_micros(200), 32),
+            );
+        let mut e = Engine::new(cfg);
+        e.set_fault_schedule(FaultSchedule::new().bit_rot(ms(1), 6));
+        let r = e.run_trace(vec![object_ops(40)], 2);
+        assert_eq!(r.verify_failures, 0, "corrupt copies are never consumed by reads");
+        let rec = r.recovery.expect("armed run reports recovery counters");
+        assert_eq!(rec.bitrot_injected, 6, "{rec:?}");
+        assert_eq!(rec.bitrot_detected, rec.bitrot_injected, "every flip found: {rec:?}");
+        assert_eq!(rec.bitrot_repaired, rec.bitrot_injected, "every flip fixed: {rec:?}");
+        assert!(rec.scrub_objects >= 40, "at least one full pass: {rec:?}");
+        assert_eq!(e.cluster_mut().corrupted_copies(), 0, "registry empty after repair");
+    }
+
+    #[test]
+    fn recovery_runs_replay_bit_identically_across_threads() {
+        let run = |threads: usize| {
+            let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication)
+                .with_resilience(ResiliencePolicy::default())
+                .with_recovery(
+                    RecoveryPolicy::default().with_scrub(SimDuration::from_micros(300), 16),
+                )
+                .with_sim_threads(threads);
+            let mut e = Engine::new(cfg);
+            e.set_fault_schedule(FaultSchedule::new().osd_crash(ms(1), 7).bit_rot(ms(1), 3));
+            e.run_trace(vec![object_ops(24)], 2)
+        };
+        let a = run(1);
+        assert_eq!(a, run(1), "same seed + schedule replays bit-identically");
+        assert_eq!(a, run(4), "worker threads never change an armed report");
+        let rec = a.recovery.unwrap();
+        assert!(
+            rec.objects_recovered + rec.bitrot_detected > 0,
+            "the schedule must actually bite: {rec:?}"
+        );
+    }
+
+    #[test]
+    fn open_loop_recovery_heals_under_load() {
+        let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication)
+            .with_resilience(ResiliencePolicy::default())
+            .with_recovery(RecoveryPolicy::default());
+        let mut e = Engine::new(cfg);
+        e.set_fault_schedule(FaultSchedule::new().osd_crash(ms(2), 9));
+        let stream: Vec<ArrivalOp> = (0..300u64)
+            .map(|i| {
+                let off = (i % 64) * (4 << 20);
+                let op = if i < 150 {
+                    TraceOp::write(off, 4096, true)
+                } else {
+                    TraceOp::read(off, 4096, true)
+                };
+                ArrivalOp { at: SimTime::from_nanos(i * 20_000), op }
+            })
+            .collect();
+        let run = e.run_open_loop(&stream, 128);
+        assert_eq!(run.report.verify_failures, 0);
+        let rec = run.report.recovery.expect("armed open-loop run reports counters");
+        assert!(rec.objects_recovered > 0, "{rec:?}");
+        assert!(rec.time_to_clean_us > 0.0, "{rec:?}");
+        assert_eq!(rec.unrecoverable, 0, "{rec:?}");
     }
 
     #[test]

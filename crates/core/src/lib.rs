@@ -42,7 +42,7 @@ pub use engine::{
 pub use generation::Generation;
 pub use prom::prometheus_dump;
 pub use report::{
-    LoadCurve, LoadPoint, PerfCounters, ResilienceCounters, RunReport, StageBreakdown,
-    StageSpanReport,
+    LoadCurve, LoadPoint, PerfCounters, RecoveryCounters, ResilienceCounters, RunReport,
+    StageBreakdown, StageSpanReport,
 };
 pub use uifd::Uifd;

@@ -234,6 +234,36 @@ impl ResilienceCounters {
     }
 }
 
+/// Background-traffic counters: what recovery, backfill, and scrub did
+/// to the cluster during the run.  Attached to [`RunReport`] only when
+/// the engine ran with a [`deliba_cluster::RecoveryPolicy`] armed, so
+/// every pre-existing report's JSON is unchanged byte for byte.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize, PartialEq)]
+pub struct RecoveryCounters {
+    /// Objects (or EC shard sets) re-replicated by backfill.
+    pub objects_recovered: u64,
+    /// Objects repaired after scrub detected corruption.
+    pub objects_repaired: u64,
+    /// Objects with no readable source copy at last scan (data loss).
+    pub unrecoverable: u64,
+    /// Backfill/repair operations dispatched onto the event queue.
+    pub recovery_ops: u64,
+    /// Bytes moved by background traffic (reads + writes + transfers).
+    pub background_bytes: u64,
+    /// Objects walked by the scrubber (all passes summed).
+    pub scrub_objects: u64,
+    /// Silent-corruption events injected by the fault plane.
+    pub bitrot_injected: u64,
+    /// Corrupt copies scrub detected via digest/parity compare.
+    pub bitrot_detected: u64,
+    /// Corrupt copies scrub repaired (rewrite from a good source).
+    pub bitrot_repaired: u64,
+    /// Reads that skipped a stale or corrupt copy (served degraded).
+    pub degraded_reads: u64,
+    /// Cumulative degraded → clean spans, µs of virtual time.
+    pub time_to_clean_us: f64,
+}
+
 /// One offered-load point of a latency-under-load sweep.
 ///
 /// Every latency column is measured from the op's *intended arrival
@@ -313,6 +343,9 @@ pub struct RunReport {
     /// Fault-plane / resilience counters (present only when a fault
     /// schedule or resilience policy was active).
     pub resilience: Option<ResilienceCounters>,
+    /// Background recovery/backfill/scrub counters (present only when
+    /// the engine ran with a recovery policy armed).
+    pub recovery: Option<RecoveryCounters>,
     /// Open-loop offered-load sweep (present only on `loadcurve` runs).
     pub load_curve: Option<LoadCurve>,
 }
@@ -343,6 +376,9 @@ impl Serialize for RunReport {
         if self.resilience.is_some() {
             fields.push(("resilience".to_string(), self.resilience.serialize_value()));
         }
+        if self.recovery.is_some() {
+            fields.push(("recovery".to_string(), self.recovery.serialize_value()));
+        }
         if self.load_curve.is_some() {
             fields.push(("load_curve".to_string(), self.load_curve.serialize_value()));
         }
@@ -367,6 +403,7 @@ impl Deserialize for RunReport {
             breakdown: Deserialize::deserialize_value(field("breakdown"))?,
             counters: Deserialize::deserialize_value(field("counters"))?,
             resilience: Deserialize::deserialize_value(field("resilience"))?,
+            recovery: Deserialize::deserialize_value(field("recovery"))?,
             load_curve: Deserialize::deserialize_value(field("load_curve"))?,
         })
     }
@@ -397,6 +434,7 @@ impl RunReport {
             breakdown: None,
             counters: None,
             resilience: None,
+            recovery: None,
             load_curve: None,
         }
     }
@@ -472,7 +510,7 @@ mod tests {
     fn optional_sections_omitted_when_absent_and_round_trip_when_present() {
         let r = sample_report();
         let json = serde_json::to_string(&r).unwrap();
-        for key in ["breakdown", "counters", "resilience", "load_curve"] {
+        for key in ["breakdown", "counters", "resilience", "recovery", "load_curve"] {
             assert!(
                 !json.contains(key),
                 "absent {key} must not appear in baseline JSON: {json}"
@@ -493,6 +531,22 @@ mod tests {
         let json = serde_json::to_string(&with).unwrap();
         assert!(json.contains("\"resilience\""));
         assert!(json.contains("\"retries\""));
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, with);
+
+        let mut with = sample_report();
+        with.recovery = Some(RecoveryCounters {
+            objects_recovered: 12,
+            bitrot_detected: 3,
+            bitrot_repaired: 3,
+            time_to_clean_us: 875.25,
+            ..Default::default()
+        });
+        let json = serde_json::to_string(&with).unwrap();
+        assert!(json.contains("\"recovery\""));
+        assert!(json.contains("\"objects_recovered\""));
+        // The recovery section sits between resilience and load_curve in
+        // declaration (and therefore serialization) order.
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, with);
     }

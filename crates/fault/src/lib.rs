@@ -60,6 +60,14 @@ pub enum FaultKind {
         /// Target reconfigurable module.
         target: RmId,
     },
+    /// Silent corruption: flip a byte in `copies` stored object copies
+    /// (replica copies or EC shards), chosen deterministically from the
+    /// plane's bit-rot stream.  No error is reported at injection time —
+    /// only deep scrub or checksum verification can find it.
+    BitRot {
+        /// How many distinct stored copies to corrupt at this instant.
+        copies: u32,
+    },
 }
 
 impl FaultKind {
@@ -79,6 +87,7 @@ impl FaultKind {
             FaultKind::CardFault => "card_fault",
             FaultKind::CardRecover => "card_recover",
             FaultKind::DfxSwap { .. } => "dfx_swap",
+            FaultKind::BitRot { .. } => "bit_rot",
         }
     }
 }
@@ -176,6 +185,11 @@ impl FaultSchedule {
         self.at(at, FaultKind::DfxSwap { target })
     }
 
+    /// Silent corruption strikes `copies` stored object copies at `at`.
+    pub fn bit_rot(self, at: SimTime, copies: u32) -> Self {
+        self.at(at, FaultKind::BitRot { copies })
+    }
+
     /// Number of scheduled events.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -206,6 +220,7 @@ pub struct FaultPlane {
     link_windows: Vec<(SimTime, LinkFaultProfile)>,
     dma_windows: Vec<(SimTime, DmaFaultProfile)>,
     rng: Xoshiro256,
+    bitrot: Xoshiro256,
     /// Link drop/corruption injector (the `deliba-net` layer).
     pub link: LinkFaultInjector,
     /// DMA completion-error / descriptor-exhaustion injector (the
@@ -239,7 +254,11 @@ impl FaultPlane {
         let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xFA17_F1A6);
         let link = LinkFaultInjector::new(rng.jump());
         let dma = DmaFaultInjector::new(rng.jump());
-        FaultPlane { timeline, next: 0, link_windows, dma_windows, rng, link, dma }
+        // The bit-rot stream is seeded independently rather than jumped
+        // off `rng`: an extra jump would shift the jitter stream and
+        // perturb every pre-existing schedule's backoff timing.
+        let bitrot = Xoshiro256::seed_from_u64(seed ^ 0xB17_2070);
+        FaultPlane { timeline, next: 0, link_windows, dma_windows, rng, bitrot, link, dma }
     }
 
     /// The link profile in force at `at` (healthy before the first
@@ -319,6 +338,14 @@ impl FaultPlane {
     /// deterministic jitter source for backoff randomization.
     pub fn jitter_unit(&mut self) -> f64 {
         self.rng.next_f64()
+    }
+
+    /// The dedicated bit-rot stream: picks which stored copies silently
+    /// corrupt when a [`FaultKind::BitRot`] event fires.  Independent of
+    /// the jitter and injector streams, so arming bit rot never moves a
+    /// backoff or drop draw.
+    pub fn bitrot_rng(&mut self) -> &mut Xoshiro256 {
+        &mut self.bitrot
     }
 }
 
@@ -481,6 +508,31 @@ mod tests {
         assert_eq!(FaultKind::CardFault.label(), "card_fault");
         assert_eq!(FaultKind::CardRecover.label(), "card_recover");
         assert_eq!(FaultKind::DfxSwap { target: RmId::Tree }.label(), "dfx_swap");
+        assert_eq!(FaultKind::BitRot { copies: 4 }.label(), "bit_rot");
+    }
+
+    #[test]
+    fn bit_rot_sugar_and_independent_stream() {
+        let t = SimTime::from_nanos;
+        let s = FaultSchedule::new().bit_rot(t(100), 6);
+        assert_eq!(s.events()[0], TimedFault { at: t(100), kind: FaultKind::BitRot { copies: 6 } });
+
+        // Draining the bit-rot stream must not move the jitter stream,
+        // and vice versa: each is its own seeded generator.
+        let mut a = FaultPlane::new(FaultSchedule::new(), 7);
+        let mut b = FaultPlane::new(FaultSchedule::new(), 7);
+        for _ in 0..100 {
+            a.bitrot_rng().next_u64();
+        }
+        assert_eq!(a.jitter_unit(), b.jitter_unit());
+        for _ in 0..100 {
+            b.jitter_unit();
+            b.bitrot_rng().next_u64();
+        }
+        assert_eq!(a.bitrot_rng().next_u64(), b.bitrot_rng().next_u64());
+        // Different seeds diverge.
+        let mut c = FaultPlane::new(FaultSchedule::new(), 8);
+        assert_ne!(a.bitrot_rng().next_u64(), c.bitrot_rng().next_u64());
     }
 
     #[test]

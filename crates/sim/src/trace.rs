@@ -188,6 +188,15 @@ pub enum InstantKind {
     /// Accel: a placement ran on the card (detail = 1 when the DFX RM
     /// served it, 0 for the static Straw2 fallback).
     AccelPlace,
+    /// Fault plane: silent corruption struck stored copies (detail =
+    /// copies flipped).
+    BitRot,
+    /// Cluster: a recovery wave dispatched backfill work (detail =
+    /// items in the wave).
+    Backfill,
+    /// Cluster: deep scrub rewrote corrupted copies (detail = copies
+    /// repaired this tick).
+    ScrubRepair,
 }
 
 impl InstantKind {
@@ -220,6 +229,9 @@ impl InstantKind {
             InstantKind::BlkMqDispatch => "blk_mq_dispatch",
             InstantKind::DescriptorPost => "descriptor_post",
             InstantKind::AccelPlace => "accel_place",
+            InstantKind::BitRot => "bit_rot",
+            InstantKind::Backfill => "backfill",
+            InstantKind::ScrubRepair => "scrub_repair",
         }
     }
 
@@ -238,6 +250,7 @@ impl InstantKind {
                 | InstantKind::CardRecover
                 | InstantKind::DfxSwap
                 | InstantKind::CacheInvalidation
+                | InstantKind::BitRot
         )
     }
 }
@@ -806,7 +819,13 @@ mod tests {
         assert_eq!(InstantKind::OsdCrash.label(), "osd_crash");
         assert_eq!(InstantKind::CacheInvalidation.label(), "cache_invalidation");
         assert_eq!(InstantKind::BlkMqDispatch.label(), "blk_mq_dispatch");
+        assert_eq!(InstantKind::BitRot.label(), "bit_rot");
+        assert_eq!(InstantKind::Backfill.label(), "backfill");
+        assert_eq!(InstantKind::ScrubRepair.label(), "scrub_repair");
         assert!(InstantKind::DfxSwap.is_fault());
         assert!(!InstantKind::Retry.is_fault());
+        assert!(InstantKind::BitRot.is_fault(), "bit rot is a scheduled fault");
+        assert!(!InstantKind::Backfill.is_fault(), "recovery traffic is not a fault");
+        assert!(!InstantKind::ScrubRepair.is_fault());
     }
 }
