@@ -7,6 +7,7 @@
 //! harness trace [--trace-depth <off|spans|full>] [--out <dir>]
 //! harness loadcurve [--rate <kiops,...>] [--arrival <poisson|bursty|diurnal>]
 //!                   [--zipf-s <s>] [--admission-cap <n>] [--json] [--out <path>]
+//! harness timeline [--window-us <n>] [--slo-p99-us <n>] [--out <dir>]
 //!
 //! experiments: fig3 fig4 fig6 fig7 fig8 fig9
 //!              table1 table2 table3 power realworld headline dfx
@@ -18,6 +19,8 @@
 //!              trace (flight-recorder export; never part of `all`)
 //!              loadcurve (open-loop latency-under-load sweep; never
 //!                         part of `all`)
+//!              timeline (telemetry-plane timeline + burn-rate alert
+//!                        experiment; never part of `all`)
 //!              all (default)
 //!
 //! --json           emit the results as JSON instead of text tables
@@ -35,6 +38,9 @@
 //! --zipf-s         loadcurve Zipf skew of block selection (default: 0.9)
 //! --admission-cap  loadcurve in-flight bound; arrivals past it are
 //!                  dropped and counted (default: 256)
+//! --window-us      timeline telemetry window width in µs of virtual
+//!                  time (default: 500)
+//! --slo-p99-us     timeline SLO latency target in µs (default: 400)
 //! ```
 //!
 //! `loadcurve` runs alone: its JSON output is one `RunReport` per
@@ -48,6 +54,16 @@
 //! Perfetto or `chrome://tracing`) and `trace-<cell>.prom` (Prometheus
 //! text exposition) per cell into the `--out` directory (default `.`)
 //! and prints each cell's worst-K tail-latency attribution table.
+//!
+//! `timeline` also runs alone: it runs the telemetry-plane experiment
+//! (open-loop ramp + mid-run OSD crash with recovery armed, asserting
+//! the burn-rate alert correlates with the degrade onset) and, when
+//! `--out <dir>` is given, writes `timeline.json` (the machine-checked
+//! timeline document), `timeline.csv`, `timeline.prom` (timestamped
+//! series), `timeline.trace.json` (Chrome counter tracks) and
+//! `timeline.report.json` (the carrier `RunReport` with its `slo`
+//! section) into the directory.  Telemetry can also be armed on any
+//! run via the `DELIBA_TELEMETRY` env var (default config).
 //!
 //! Sweeps run cells on `DELIBA_JOBS` worker threads (default: all
 //! cores); output is byte-identical to a serial run either way.
@@ -67,7 +83,7 @@ const ALL: &[&str] = &[
 const KNOWN: &[&str] = &[
     "all", "table1", "table2", "table3", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
     "power", "realworld", "headline", "dfx", "ablation", "mtu", "breakdown", "perf",
-    "chaos", "recovery", "scrub", "trace", "loadcurve",
+    "chaos", "recovery", "scrub", "trace", "loadcurve", "timeline",
 ];
 
 /// The `--baseline` comparison: diff this run's cells against a
@@ -179,6 +195,7 @@ fn usage() -> ! {
         "       harness loadcurve [--rate <kiops,...>] [--arrival <kind>] \
          [--zipf-s <s>] [--admission-cap <n>]"
     );
+    eprintln!("       harness timeline [--window-us <n>] [--slo-p99-us <n>] [--out <dir>]");
     eprintln!("experiments: {}", KNOWN.join(" "));
     std::process::exit(2);
 }
@@ -223,6 +240,36 @@ fn run_trace(depth_flag: Option<String>, out_dir: Option<String>) {
     }
 }
 
+/// The `timeline` subcommand: run the telemetry-plane experiment (the
+/// in-run alert asserts fire inside `timeline_with`) and write the four
+/// series exports plus the carrier report into `out_dir` when given.
+fn run_timeline(opts: TimelineOpts, out_dir: Option<String>) {
+    let (exp, art) = timeline_with(&opts);
+    exp.print();
+    let Some(dir) = out_dir else { return };
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let report_body = serde_json::to_string_pretty(&art.report).expect("serializable") + "\n";
+    let files = [
+        ("timeline.json", &art.timeline_json),
+        ("timeline.csv", &art.csv),
+        ("timeline.prom", &art.prom),
+        ("timeline.trace.json", &art.chrome),
+        ("timeline.report.json", &report_body),
+    ];
+    for (name, body) in files {
+        let path = dir.join(name);
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("  wrote {}", path.display());
+    }
+}
+
 /// The `loadcurve` subcommand: run the open-loop sweep, print the text
 /// table or emit one `RunReport` per generation (curve in `load_curve`).
 fn run_loadcurve(opts: LoadCurveOpts, json: bool, out: Option<String>) {
@@ -252,6 +299,8 @@ fn main() {
     let mut trace_depth: Option<String> = None;
     let mut lc = LoadCurveOpts::default();
     let mut lc_flag_seen = false;
+    let mut tl = TimelineOpts::default();
+    let mut tl_flag_seen = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -334,6 +383,26 @@ fn main() {
                 }
                 lc_flag_seen = true;
             }
+            "--window-us" => {
+                match it.next().and_then(|s| s.parse::<u64>().ok()).filter(|w| *w > 0) {
+                    Some(w) => tl.window_us = w,
+                    None => {
+                        eprintln!("--window-us requires a positive integer (µs)");
+                        usage();
+                    }
+                }
+                tl_flag_seen = true;
+            }
+            "--slo-p99-us" => {
+                match it.next().and_then(|s| s.parse::<u64>().ok()).filter(|t| *t > 0) {
+                    Some(t) => tl.slo_p99_us = t,
+                    None => {
+                        eprintln!("--slo-p99-us requires a positive integer (µs)");
+                        usage();
+                    }
+                }
+                tl_flag_seen = true;
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("unknown flag: {other}");
@@ -371,8 +440,13 @@ fn main() {
 
     // `trace` is a file-emitting export with its own flags (`--out` is a
     // directory, not a JSON path), so it must run alone.
-    if expanded.iter().any(|w| w == "trace" || w == "loadcurve") && baseline.is_some() {
-        eprintln!("--baseline applies to figure-cell experiments (e.g. perf), not trace/loadcurve");
+    if expanded.iter().any(|w| w == "trace" || w == "loadcurve" || w == "timeline")
+        && baseline.is_some()
+    {
+        eprintln!(
+            "--baseline applies to figure-cell experiments (e.g. perf), not \
+             trace/loadcurve/timeline"
+        );
         usage();
     }
     if expanded.iter().any(|w| w == "trace") {
@@ -402,6 +476,21 @@ fn main() {
     }
     if lc_flag_seen {
         eprintln!("--rate/--arrival/--zipf-s/--admission-cap only apply to `loadcurve`");
+        usage();
+    }
+
+    // `timeline` runs alone too: its `--out` is a directory of series
+    // exports, not a JSON path.
+    if expanded.iter().any(|w| w == "timeline") {
+        if expanded.len() != 1 {
+            eprintln!("`timeline` runs alone (its --out is a directory of series exports)");
+            usage();
+        }
+        run_timeline(tl, out);
+        return;
+    }
+    if tl_flag_seen {
+        eprintln!("--window-us/--slo-p99-us only apply to `timeline`");
         usage();
     }
 

@@ -987,6 +987,39 @@ pub fn perf() -> Experiment {
     let disabled_overhead = disabled_overhead.max(0.0);
     let recording_overhead = recording_overhead.max(0.0);
 
+    // Telemetry-plane cost, measured exactly like the flight recorder:
+    // interleaved pairs — reference, disabled leg, recording leg — with
+    // the minimum pairwise slowdown, so cross-batch drift cancels.  The
+    // disabled path is one branch per emit site (a `None` check on the
+    // handle); CI holds it under 1 %.
+    let run_tele_evps = |on: bool| -> f64 {
+        let mut cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication);
+        if on {
+            cfg = cfg.with_telemetry(deliba_sim::TelemetryConfig::default());
+        }
+        let mut e = Engine::new(cfg);
+        let t0 = Instant::now();
+        let r = e.run_fio(&spec);
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(r.verify_failures, 0);
+        e.events_executed() as f64 / wall.max(1e-9)
+    };
+    let mut tele_off_evps = 0.0f64;
+    let mut tele_on_evps = 0.0f64;
+    let mut tele_disabled_overhead = f64::INFINITY;
+    let mut tele_recording_overhead = f64::INFINITY;
+    for _ in 0..3 {
+        let reference = run_tele_evps(false);
+        let off = run_tele_evps(false);
+        let on = run_tele_evps(true);
+        tele_off_evps = tele_off_evps.max(off);
+        tele_on_evps = tele_on_evps.max(on);
+        tele_disabled_overhead = tele_disabled_overhead.min(1.0 - off / reference.max(1e-9));
+        tele_recording_overhead = tele_recording_overhead.min(1.0 - on / off.max(1e-9));
+    }
+    let tele_disabled_overhead = tele_disabled_overhead.max(0.0);
+    let tele_recording_overhead = tele_recording_overhead.max(0.0);
+
     // Pure queue churn: steady-state schedule/pop with pseudo-random
     // deltas — the simulator hot loop with the engine stripped away.
     const CHURN: u64 = 1_000_000;
@@ -1272,6 +1305,34 @@ pub fn perf() -> Experiment {
                 workload: "recording overhead".into(),
                 unit: "frac",
                 measured: recording_overhead,
+                paper: None,
+            },
+            Cell {
+                config: "telemetry plane".into(),
+                workload: "disabled events per second".into(),
+                unit: "ev/s",
+                measured: tele_off_evps,
+                paper: None,
+            },
+            Cell {
+                config: "telemetry plane".into(),
+                workload: "recording events per second".into(),
+                unit: "ev/s",
+                measured: tele_on_evps,
+                paper: None,
+            },
+            Cell {
+                config: "telemetry plane".into(),
+                workload: "disabled-path overhead".into(),
+                unit: "frac",
+                measured: tele_disabled_overhead,
+                paper: None,
+            },
+            Cell {
+                config: "telemetry plane".into(),
+                workload: "recording overhead".into(),
+                unit: "frac",
+                measured: tele_recording_overhead,
                 paper: None,
             },
             // Intra-run parallelism.  "pool" cells run with the machine
@@ -1686,6 +1747,214 @@ pub fn recovery() -> Experiment {
         ),
         cells,
     }
+}
+
+// ---------------------------------------------------------------------
+// Telemetry timeline: burn-rate alerting under a mid-run crash
+// (`harness timeline`)
+// ---------------------------------------------------------------------
+
+/// Knobs of the timeline experiment the harness maps `--window-us` /
+/// `--slo-p99-us` onto.
+#[derive(Debug, Clone, Copy)]
+pub struct TimelineOpts {
+    /// Telemetry window width, µs of virtual time.
+    pub window_us: u64,
+    /// SLO latency target, µs.
+    pub slo_p99_us: u64,
+}
+
+impl Default for TimelineOpts {
+    fn default() -> Self {
+        TimelineOpts { window_us: 500, slo_p99_us: 400 }
+    }
+}
+
+/// Exported artifacts of one timeline run: the carrier report plus all
+/// four telemetry-plane exports, ready to write to disk.
+#[derive(Debug, Clone)]
+pub struct TimelineArtifacts {
+    /// The run's report (carries the `slo` section).
+    pub report: RunReport,
+    /// Machine-checked timeline document (CI re-derives the alert
+    /// invariants from this).
+    pub timeline_json: String,
+    /// One row per window.
+    pub csv: String,
+    /// Timestamped Prometheus series.
+    pub prom: String,
+    /// Chrome-trace counter tracks.
+    pub chrome: String,
+}
+
+/// The telemetry-plane showcase: an open-loop ramp that ends past
+/// DeLiBA-K's ≈60 KIOPS saturation knee, with an OSD crash and a
+/// recovery storm in the low-rate phase.  The windowed series shows the
+/// whole trajectory — degrade, storm, clean, ramp, saturation — and the
+/// SLO monitor must fire a burn-rate alert within a bounded number of
+/// windows of the crash annotation and clear it once the cluster is
+/// clean again.  Deterministic end to end (pinned seeds, virtual-time
+/// alerting), so the correlation is asserted here like a test.
+///
+/// Excluded from `harness all` (like `chaos` and `recovery`): its cells
+/// describe the observability plane, not a paper figure.
+pub fn timeline_with(opts: &TimelineOpts) -> (Experiment, TimelineArtifacts) {
+    use deliba_cluster::RecoveryPolicy;
+    use deliba_core::ArrivalOp;
+    use deliba_fault::{FaultSchedule, ResiliencePolicy};
+    use deliba_sim::{InstantKind, SimDuration, SimTime, TelemetryConfig};
+    use deliba_workload::{ArrivalKind, OpenLoopSpec};
+
+    const CAP: u32 = 256;
+    const CRASH_MS: u64 = 20;
+    const VICTIM: i32 = 9;
+    // The alert must fire within this much virtual time of the crash.
+    // The client-visible degrade lags the crash itself: in-flight ops to
+    // the dead OSD ride out their deadline first, and the storm's
+    // latency cost lands at op *completion* times — measured ≈ 10 ms.
+    // A time bound (not a window count) keeps the assert meaningful at
+    // any `--window-us`.
+    const ALERT_WITHIN_US: u64 = 12_000;
+    // Hold 24 KIOPS while the crash, storm and clean-up play out, then
+    // step across the knee: 48 KIOPS is still under it, 72 is past it.
+    const RAMP: [(f64, u64); 3] = [(24.0, 2_400), (48.0, 1_200), (72.0, 1_800)];
+
+    // One concatenated arrival stream: each segment is its own pinned
+    // generator, shifted to start where the previous one ended.
+    let mut stream: Vec<ArrivalOp> = Vec::new();
+    let mut base_ns = 0u64;
+    for (i, &(rate, ops)) in RAMP.iter().enumerate() {
+        let seg = OpenLoopSpec {
+            rate_kiops: rate,
+            ops,
+            write_frac: 0.5,
+            arrival: ArrivalKind::Poisson,
+            zipf_s: 0.9,
+            seed: 0xD1BA + i as u64,
+            ..Default::default()
+        }
+        .generate();
+        let last = seg.last().map(|a| a.at.as_nanos()).unwrap_or(0);
+        stream.extend(seg.into_iter().map(|a| ArrivalOp {
+            at: SimTime::from_nanos(base_ns + a.at.as_nanos()),
+            op: a.op,
+        }));
+        base_ns += last + 1_000;
+    }
+
+    let tcfg = TelemetryConfig::default()
+        .with_window(SimDuration::from_micros(opts.window_us))
+        .with_slo_p99(SimDuration::from_micros(opts.slo_p99_us));
+    let cfg = EngineConfig::new(Generation::DeLiBAK, true, Mode::Replication)
+        .with_resilience(ResiliencePolicy::default())
+        .with_recovery(RecoveryPolicy::with_max_active(16))
+        .with_telemetry(tcfg);
+    let mut e = Engine::new(cfg);
+    e.set_fault_schedule(
+        FaultSchedule::new().osd_crash(SimTime::from_nanos(CRASH_MS * 1_000_000), VICTIM),
+    );
+    let run = e.run_open_loop(&stream, CAP);
+    assert_eq!(run.report.verify_failures, 0, "data corruption under the timeline schedule");
+
+    // The in-run invariants CI re-derives from the exported JSON.
+    let slo = run.report.slo.clone().expect("telemetry was armed");
+    let width_ns = e.telemetry().with(|r| r.width_ns()).expect("recording");
+    let anns = e.telemetry().with(|r| r.annotations()).expect("recording");
+    let crash = anns
+        .iter()
+        .find(|a| a.kind == InstantKind::OsdCrash)
+        .expect("the crash lands as a window annotation");
+    let crash_window = crash.at.as_nanos() / width_ns;
+    assert!(!slo.alerts.is_empty(), "the recovery storm must fire a burn-rate alert");
+    let first = &slo.alerts[0];
+    let alert_within_windows = (ALERT_WITHIN_US * 1_000).div_ceil(width_ns);
+    assert!(
+        first.fired_window >= crash_window
+            && first.fired_window <= crash_window + alert_within_windows,
+        "alert must fire within {ALERT_WITHIN_US} µs ({alert_within_windows} windows) \
+         of the crash: crash in window {crash_window}, fired in {}",
+        first.fired_window
+    );
+    let rec = run.report.recovery.expect("armed");
+    assert!(rec.time_to_clean_us > 0.0, "the degraded episode must close: {rec:?}");
+    let cleared_us = first
+        .cleared_us
+        .expect("the alert must clear once the storm subsides");
+    let crash_us = crash.at.as_nanos() as f64 / 1e3;
+    let window_us_f = width_ns as f64 / 1e3;
+    // The episode is real (≥ one window long) and bounded by the
+    // recovery: burn recovers no later than the cluster's clean instant
+    // plus the short rolling window's lag.  (Clearing *before* the
+    // official clean is legitimate — the monitor tracks client burn,
+    // and the storm's latency pressure subsides while the final
+    // rescan/drain still runs.)
+    assert!(
+        cleared_us >= first.fired_us + window_us_f,
+        "the alert episode must span at least one window: \
+         fired {:.0} µs, cleared {cleared_us:.0} µs",
+        first.fired_us
+    );
+    let lag = (tcfg.short_windows as f64 + 2.0) * window_us_f;
+    assert!(
+        cleared_us <= crash_us + rec.time_to_clean_us + lag,
+        "the alert must clear once the cluster is clean again: \
+         cleared {cleared_us:.0} µs, crash {crash_us:.0} µs + time-to-clean {:.0} µs + lag {lag:.0} µs",
+        rec.time_to_clean_us
+    );
+    assert!(slo.attainment < 1.0, "the storm must burn budget: {slo:?}");
+
+    let p = run.point;
+    let alert_latency_windows = (first.fired_window - crash_window) as f64;
+    let config = "DeLiBA-K crash + ramp (telemetry)".to_string();
+    let mut cells = Vec::new();
+    {
+        let mut cell = |workload: &str, unit: &'static str, measured: f64| {
+            cells.push(Cell {
+                config: config.clone(),
+                workload: workload.into(),
+                unit,
+                measured,
+                paper: None,
+            });
+        };
+        cell("achieved", "KIOPS", p.achieved_kiops);
+        cell("foreground p99", "µs", p.p99_us);
+        cell("dropped", "ops", p.dropped as f64);
+        cell("windows", "win", slo.windows as f64);
+        cell("attainment", "frac", slo.attainment);
+        cell("alerts", "win", slo.alerts.len() as f64);
+        cell("alert latency", "win", alert_latency_windows);
+        cell("alert fired", "ms", first.fired_us / 1e3);
+        cell("alert cleared", "ms", cleared_us / 1e3);
+        cell("time to clean", "ms", rec.time_to_clean_us / 1e3);
+    }
+
+    let artifacts = e
+        .telemetry()
+        .with(|r| TimelineArtifacts {
+            report: run.report.clone(),
+            timeline_json: r.timeline_json(),
+            csv: r.csv(),
+            prom: r.prom_series(&config, "open-loop"),
+            chrome: r.chrome_json(),
+        })
+        .expect("recording");
+
+    let exp = Experiment {
+        id: "timeline".into(),
+        caption: format!(
+            "telemetry timeline: OSD crash at {CRASH_MS} ms + recovery storm under an \
+             open-loop ramp to 72 KIOPS ({} µs windows, {} µs SLO target)",
+            opts.window_us, opts.slo_p99_us
+        ),
+        cells,
+    };
+    (exp, artifacts)
+}
+
+/// [`timeline_with`] at the default window/SLO knobs.
+pub fn timeline() -> (Experiment, TimelineArtifacts) {
+    timeline_with(&TimelineOpts::default())
 }
 
 // ---------------------------------------------------------------------

@@ -1059,6 +1059,18 @@ impl Cluster {
         self.osds.iter().map(|o| o.ops_served()).collect()
     }
 
+    /// Per-OSD cumulative busy time — the telemetry plane differences
+    /// consecutive samples of this for per-window busy fractions.
+    pub fn osd_busy_times(&self) -> Vec<deliba_sim::SimDuration> {
+        self.osds.iter().map(|o| o.busy_time()).collect()
+    }
+
+    /// Per-OSD service threads still occupied at `at` (instantaneous
+    /// OSD queue depths).
+    pub fn osd_busy_threads_at(&self, at: deliba_sim::SimTime) -> Vec<u32> {
+        self.osds.iter().map(|o| o.busy_threads_at(at)).collect()
+    }
+
     /// Repair pass after a scrub: for replicated pools, rewrite divergent
     /// copies from the majority version (primary breaks ties — Ceph's
     /// "authoritative copy"); for EC pools, recompute parity from the

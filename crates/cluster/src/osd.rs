@@ -234,6 +234,17 @@ impl Osd {
     pub fn utilization(&self, horizon: SimTime) -> f64 {
         self.threads.utilization(horizon)
     }
+
+    /// Cumulative busy time across this OSD's service threads.
+    pub fn busy_time(&self) -> SimDuration {
+        self.threads.busy_time()
+    }
+
+    /// Service threads still occupied at `at` — the OSD's instantaneous
+    /// queue depth for the telemetry plane.
+    pub fn busy_threads_at(&self, at: SimTime) -> u32 {
+        self.threads.busy_at(at)
+    }
 }
 
 #[cfg(test)]

@@ -27,8 +27,9 @@ use deliba_fpga::{AlveoU280, RmId};
 use deliba_net::{LinkVerdict, TcpStack};
 use deliba_qdma::PciePipes;
 use deliba_sim::{
-    Counter, Histogram, InstantKind, LaneQueue, Server, SimDuration, SimRng, SimTime, Stage,
-    StageTracer, TraceDepth, TraceHandle, TraceLayer, WindowStats, Xoshiro256,
+    Counter, GaugeSnapshot, Histogram, InstantKind, LaneQueue, Server, SimDuration, SimRng,
+    SimTime, Stage, StageTracer, TelemetryConfig, TelemetryHandle, TraceDepth, TraceHandle,
+    TraceLayer, WindowStats, Xoshiro256,
 };
 use std::collections::BTreeMap;
 
@@ -224,6 +225,13 @@ pub struct EngineConfig {
     /// extra event-queue shard, and `RunReport` carries no recovery
     /// block — pre-existing runs stay byte-identical.
     pub recovery: Option<RecoveryPolicy>,
+    /// Time-resolved telemetry plane (windowed metric series + SLO
+    /// burn-rate alerts).  `None` (the default) allocates nothing and
+    /// leaves every emit site a single branch; `Engine::new` falls back
+    /// to the `DELIBA_TELEMETRY` env var when unset.  Recording draws
+    /// no randomness and advances no timeline, so it never perturbs
+    /// results.
+    pub telemetry: Option<TelemetryConfig>,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -243,6 +251,7 @@ impl EngineConfig {
             trace_depth: TraceDepth::Off,
             sim_threads: None,
             recovery: None,
+            telemetry: None,
             seed: 42,
         }
     }
@@ -274,6 +283,12 @@ impl EngineConfig {
     /// Arm background recovery/backfill/scrub with the given policy.
     pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
         self.recovery = Some(policy);
+        self
+    }
+
+    /// Arm the time-resolved telemetry plane.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -419,6 +434,15 @@ pub struct Engine {
     /// The flight recorder (disabled handle unless `cfg.trace_depth` is
     /// on; every layer below holds a clone of the same sink).
     trace: TraceHandle,
+    /// The time-resolved telemetry plane (disabled handle unless the
+    /// config or `DELIBA_TELEMETRY` armed it).  All recording happens
+    /// in the serial commit loop, keyed by virtual completion/pop
+    /// instants, so series stay thread-count invariant.
+    tele: TelemetryHandle,
+    /// Clone of the most recent run's latency histogram, kept only when
+    /// the telemetry plane is on (the telescoping tests compare merged
+    /// window histograms against it).
+    last_hist: Option<Histogram>,
     /// Background recovery/backfill/scrub scheduler (present iff
     /// `cfg.recovery` armed a policy).  Every mutation happens in the
     /// serial commit loop, so reports stay thread-count invariant.
@@ -444,6 +468,15 @@ impl Engine {
             deliba_net::FrameConfig::standard()
         };
         let trace = TraceHandle::recording(cfg.trace_depth, deliba_sim::trace::RING_CAPACITY);
+        let telemetry = cfg.telemetry.or_else(|| {
+            std::env::var("DELIBA_TELEMETRY")
+                .ok()
+                .and_then(|v| TelemetryConfig::from_env_value(&v))
+        });
+        let tele = match telemetry {
+            Some(t) => TelemetryHandle::recording(t),
+            None => TelemetryHandle::off(),
+        };
         let mut cluster = Cluster::paper_testbed_with_frames(cfg.seed, frames);
         cluster.set_trace(trace.clone());
         let recovery = cfg.recovery.map(RecoveryScheduler::new);
@@ -493,6 +526,8 @@ impl Engine {
             fpga_down: false,
             card_fault_at: None,
             trace,
+            tele,
+            last_hist: None,
             recovery,
             bitrot_injected: 0,
             recovery_dirty: false,
@@ -505,6 +540,65 @@ impl Engine {
     /// a trace depth) — the exporters hang off this.
     pub fn trace(&self) -> &TraceHandle {
         &self.trace
+    }
+
+    /// The telemetry-plane handle (disabled unless armed via the config
+    /// or `DELIBA_TELEMETRY`) — the series exporters hang off this.
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.tele
+    }
+
+    /// The most recent run's latency histogram; `Some` only when the
+    /// telemetry plane was on (the window series must merge back to
+    /// exactly this).
+    pub fn last_histogram(&self) -> Option<&Histogram> {
+        self.last_hist.as_ref()
+    }
+
+    /// Cumulative/instantaneous resource gauges at `at`, packaged for
+    /// the telemetry recorder.  Called only at window boundaries (a few
+    /// times per window's worth of events), never per op.
+    fn gauge_snapshot(&self, at: SimTime, inflight: u32, queue_depth: u32) -> GaugeSnapshot {
+        let (link_busy, link_pipes) = self.cluster.topology().class_busy_times();
+        let cache = self.cluster.map().placement_cache_stats();
+        let (backlog, scrub) = match &self.recovery {
+            Some(s) => (s.pending_items() as u64, s.stats.scrub_objects),
+            None => (0, 0),
+        };
+        GaugeSnapshot {
+            inflight,
+            queue_depth,
+            osd_busy: self.cluster.osd_busy_times(),
+            osd_qd: self.cluster.osd_busy_threads_at(at),
+            link_busy,
+            link_pipes,
+            recovery_backlog: backlog,
+            scrub_objects: scrub,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            retries: self.res.retries,
+        }
+    }
+
+    /// Close out the telemetry plane at end-of-run: capture the final
+    /// gauge sample, keep the run histogram for the telescoping checks,
+    /// and attach the SLO section to the report.  A no-op when the plane
+    /// is off, so baseline reports stay byte-identical.
+    fn finish_telemetry(
+        &mut self,
+        last_complete: SimTime,
+        hist: &Histogram,
+        report: &mut RunReport,
+    ) {
+        if !self.tele.is_on() {
+            return;
+        }
+        self.last_hist = Some(hist.clone());
+        let snap = self.gauge_snapshot(last_complete, 0, 0);
+        if let Some(summary) = self.tele.finish(last_complete, snap) {
+            let cfg = self.tele.with(|r| r.config()).expect("handle is on");
+            report.slo = Some(crate::report::SloReport::from_summary(&summary, &cfg));
+        }
     }
 
     /// Arm the fault plane with a timed schedule.  Injector streams are
@@ -693,6 +787,7 @@ impl Engine {
                     self.cluster.fail_osd(osd);
                     self.recovery_dirty = true;
                     self.res.osd_crashes += 1;
+                    self.tele.annotate(now, InstantKind::OsdCrash, osd as u64);
                     self.trace.instant_lane(
                         now,
                         TraceLayer::Fault,
@@ -711,6 +806,7 @@ impl Engine {
                 FaultKind::OsdRevive { osd } => {
                     self.cluster.revive_osd(osd);
                     self.recovery_dirty = true;
+                    self.tele.annotate(now, InstantKind::OsdRevive, osd as u64);
                     self.trace.instant_lane(
                         now,
                         TraceLayer::Fault,
@@ -738,6 +834,7 @@ impl Engine {
                     } else {
                         InstantKind::LinkDegrade
                     };
+                    self.tele.annotate(now, ik, 0);
                     self.trace.instant_lane(now, TraceLayer::Fault, 0, ik, 0);
                 }
                 FaultKind::DmaDegrade(p) => {
@@ -746,6 +843,7 @@ impl Engine {
                     } else {
                         InstantKind::DmaDegrade
                     };
+                    self.tele.annotate(now, ik, 0);
                     self.trace.instant_lane(now, TraceLayer::Fault, 0, ik, 0);
                 }
                 FaultKind::CardFault => {
@@ -757,6 +855,7 @@ impl Engine {
                         self.card_fault_at = Some(now);
                         self.res.fpga_failovers += 1;
                     }
+                    self.tele.annotate(now, InstantKind::CardFault, 0);
                     self.trace
                         .instant_lane(now, TraceLayer::Fault, 0, InstantKind::CardFault, 0);
                 }
@@ -769,6 +868,7 @@ impl Engine {
                         self.res.recovery_time_us +=
                             now.saturating_since(t0).as_nanos() as f64 / 1_000.0;
                     }
+                    self.tele.annotate(now, InstantKind::CardRecover, 0);
                     self.trace
                         .instant_lane(now, TraceLayer::Fault, 0, InstantKind::CardRecover, 0);
                 }
@@ -789,6 +889,7 @@ impl Engine {
                     let plane = self.faults.as_mut().expect("a due fault implies a plane");
                     let rotten = self.cluster.inject_bitrot(copies, plane.bitrot_rng());
                     self.bitrot_injected += rotten;
+                    self.tele.annotate(now, InstantKind::BitRot, rotten);
                     self.trace
                         .instant_lane(now, TraceLayer::Fault, 0, InstantKind::BitRot, rotten);
                 }
@@ -1447,6 +1548,15 @@ impl Engine {
         let mut next = queue.pop();
         while let Some((ready, token)) = next {
             self.events += 1;
+            // Telemetry gauge sampling keys off pop times, which the
+            // queue guarantees are monotone nondecreasing — windows
+            // strictly before the current one close here, so the series
+            // is invariant under the thread/shard matrix.
+            if self.tele.needs_sample(ready) {
+                let snap =
+                    self.gauge_snapshot(ready, queue.len() as u32 + 1, queue.len() as u32);
+                self.tele.sample(ready, snap);
+            }
             if self.faults.is_some() && self.apply_due_faults(ready) {
                 queue.set_lookahead(self.derive_lookahead(ready));
                 if let Some(at) = self.recovery_kick(ready) {
@@ -1519,6 +1629,7 @@ impl Engine {
             };
             hist.record(complete.saturating_since(start));
             counter.record(op.len as u64);
+            self.tele.op(complete, complete.saturating_since(start), op.len as u64);
             last_complete = last_complete.max(complete);
             if sample_counters {
                 // Pending tokens plus the slot in hand = ops in flight;
@@ -1581,6 +1692,7 @@ impl Engine {
             report.resilience = Some(self.resilience_counters());
         }
         report.recovery = self.recovery_counters();
+        self.finish_telemetry(last_complete, &hist, &mut report);
         report
     }
 
@@ -1663,6 +1775,12 @@ impl Engine {
         }
         while let Some((now, token)) = queue.pop() {
             self.events += 1;
+            // Same monotone-pop-time sampling contract as the closed
+            // loop; `inflight` here counts admitted-but-unsettled ops.
+            if self.tele.needs_sample(now) {
+                let snap = self.gauge_snapshot(now, inflight, queue.len() as u32);
+                self.tele.sample(now, snap);
+            }
             if self.faults.is_some() && self.apply_due_faults(now) {
                 queue.set_lookahead(self.derive_lookahead(now));
                 if let Some(at) = self.recovery_kick(now) {
@@ -1697,6 +1815,7 @@ impl Engine {
                         // Admission queue full: the op is refused at its
                         // arrival instant — a load shed, not a deferral.
                         dropped += 1;
+                        self.tele.drop_op(now);
                         if let Some(p) = prep {
                             p.advance(0, idx);
                         }
@@ -1732,6 +1851,7 @@ impl Engine {
                     }
                     hist.record(now.saturating_since(intended));
                     counter.record(len as u64);
+                    self.tele.op(now, now.saturating_since(intended), len as u64);
                     last_complete = last_complete.max(now);
                     if sample_counters {
                         self.trace.counter(now, "inflight_ops", inflight as u64);
@@ -1811,6 +1931,7 @@ impl Engine {
             report.resilience = Some(self.resilience_counters());
         }
         report.recovery = self.recovery_counters();
+        self.finish_telemetry(last_complete, &hist, &mut report);
         OpenLoopRun { report, point }
     }
 

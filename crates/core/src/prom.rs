@@ -110,6 +110,31 @@ pub fn prometheus_dump(report: &RunReport, trace: Option<&TraceStats>) -> String
         gauge(&mut out, "deliba_resilience_recovery_time_us", "Cumulative card-fault to card-recover time in microseconds.", r.recovery_time_us);
     }
 
+    if let Some(rc) = &report.recovery {
+        counter(&mut out, "deliba_recovery_objects_recovered_total", "Objects re-replicated by backfill.", rc.objects_recovered);
+        counter(&mut out, "deliba_recovery_objects_repaired_total", "Objects repaired after scrub detected corruption.", rc.objects_repaired);
+        counter(&mut out, "deliba_recovery_unrecoverable_total", "Objects with no readable source copy at last scan.", rc.unrecoverable);
+        counter(&mut out, "deliba_recovery_ops_total", "Backfill/repair operations dispatched.", rc.recovery_ops);
+        counter(&mut out, "deliba_recovery_background_bytes_total", "Bytes moved by background traffic.", rc.background_bytes);
+        counter(&mut out, "deliba_recovery_scrub_objects_total", "Objects walked by the scrubber.", rc.scrub_objects);
+        counter(&mut out, "deliba_recovery_bitrot_injected_total", "Silent-corruption events injected by the fault plane.", rc.bitrot_injected);
+        counter(&mut out, "deliba_recovery_bitrot_detected_total", "Corrupt copies scrub detected.", rc.bitrot_detected);
+        counter(&mut out, "deliba_recovery_bitrot_repaired_total", "Corrupt copies scrub repaired.", rc.bitrot_repaired);
+        counter(&mut out, "deliba_recovery_degraded_reads_total", "Reads that skipped a stale or corrupt copy.", rc.degraded_reads);
+        gauge(&mut out, "deliba_recovery_time_to_clean_us", "Cumulative degraded-to-clean time in microseconds of virtual time.", rc.time_to_clean_us);
+    }
+
+    if let Some(s) = &report.slo {
+        gauge(&mut out, "deliba_slo_window_us", "Telemetry window width in microseconds.", s.window_us);
+        gauge(&mut out, "deliba_slo_target_p99_us", "SLO latency target in microseconds.", s.target_p99_us);
+        gauge(&mut out, "deliba_slo_objective", "SLO attainment objective.", s.objective);
+        gauge(&mut out, "deliba_slo_attainment", "Fraction of telemetry windows within the error budget.", s.attainment);
+        counter(&mut out, "deliba_slo_windows_total", "Telemetry windows the run spanned.", s.windows);
+        counter(&mut out, "deliba_slo_attained_windows_total", "Telemetry windows within the error budget.", s.attained_windows);
+        counter(&mut out, "deliba_slo_bad_ops_total", "Ops over the SLO target plus admission drops.", s.bad_ops);
+        counter(&mut out, "deliba_slo_alerts_total", "Burn-rate alert episodes.", s.alerts.len() as u64);
+    }
+
     if let Some(t) = trace {
         let depth = t.depth.label();
         let _ = writeln!(out, "# HELP deliba_trace_events_held Flight-recorder events currently held in the ring.");
@@ -129,7 +154,7 @@ pub fn prometheus_dump(report: &RunReport, trace: Option<&TraceStats>) -> String
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::report::{PerfCounters, ResilienceCounters};
+    use crate::report::{PerfCounters, RecoveryCounters, ResilienceCounters, SloReport};
     use deliba_sim::{Counter, Histogram, SimDuration, Stage, StageTracer, TraceDepth};
 
     fn sample_report(traced: bool) -> RunReport {
@@ -159,6 +184,24 @@ mod tests {
             r.breakdown = Some(crate::report::StageBreakdown::from_tracer(&tracer));
             r.counters = Some(PerfCounters { events: 100, ..Default::default() });
             r.resilience = Some(ResilienceCounters { retries: 3, ..Default::default() });
+            r.recovery = Some(RecoveryCounters {
+                objects_recovered: 12,
+                background_bytes: 1 << 20,
+                time_to_clean_us: 92_800.0,
+                ..Default::default()
+            });
+            r.slo = Some(SloReport {
+                window_us: 500.0,
+                target_p99_us: 400.0,
+                objective: 0.99,
+                burn_threshold: 2.0,
+                windows: 40,
+                attained_windows: 36,
+                attainment: 0.9,
+                bad_ops: 120,
+                total_ops: 4000,
+                alerts: Vec::new(),
+            });
         }
         r
     }
@@ -233,6 +276,10 @@ mod tests {
         assert!(dump.contains("deliba_engine_events_total"));
         assert!(dump.contains("deliba_engine_windows_total"));
         assert!(dump.contains("deliba_engine_window_mean_width_ns"));
+        assert!(dump.contains("deliba_recovery_objects_recovered_total"));
+        assert!(dump.contains("deliba_recovery_time_to_clean_us"));
+        assert!(dump.contains("deliba_slo_attainment"));
+        assert!(dump.contains("deliba_slo_alerts_total"));
     }
 
     #[test]
@@ -242,6 +289,8 @@ mod tests {
         let dump = prometheus_dump(&r, None);
         assert!(!dump.contains("deliba_stage_latency_us"));
         assert!(!dump.contains("deliba_resilience_"));
+        assert!(!dump.contains("deliba_recovery_"));
+        assert!(!dump.contains("deliba_slo_"));
         assert!(!dump.contains("deliba_trace_"));
         assert!(dump.contains("config=\"odd \\\"label\\\"\\\\path\""));
         // Deterministic: same input, same bytes.

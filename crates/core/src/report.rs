@@ -306,6 +306,80 @@ pub struct LoadCurve {
     pub points: Vec<LoadPoint>,
 }
 
+/// One burn-rate alert episode from the telemetry plane's SLO monitor.
+///
+/// Times are virtual-time µs; window indices refer to the run's fixed
+/// telemetry windows.  `cleared_*` stay `null` when the alert was still
+/// firing at end-of-run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct SloAlertReport {
+    /// When the alert fired (a window-close boundary), µs.
+    pub fired_us: f64,
+    /// Index of the window whose close fired the alert.
+    pub fired_window: u64,
+    /// When the alert cleared, µs (`null` if still firing at run end).
+    pub cleared_us: Option<f64>,
+    /// Index of the window whose close cleared the alert.
+    pub cleared_window: Option<u64>,
+    /// Highest short-window burn rate seen while firing.
+    pub peak_burn: f64,
+}
+
+/// SLO attainment summary from the telemetry plane.  Attached to
+/// [`RunReport`] only when the engine ran with telemetry armed, so
+/// every pre-existing report's JSON is unchanged byte for byte.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct SloReport {
+    /// Telemetry window width, µs.
+    pub window_us: f64,
+    /// SLO latency target (p99-style threshold), µs.
+    pub target_p99_us: f64,
+    /// Attainment objective (fraction of ops under target), in [0, 1].
+    pub objective: f64,
+    /// Burn-rate alert threshold (multiple of the error budget).
+    pub burn_threshold: f64,
+    /// Telemetry windows the run spanned.
+    pub windows: u64,
+    /// Windows whose burn rate stayed within budget (burn ≤ 1).
+    pub attained_windows: u64,
+    /// Fraction of windows attained, in [0, 1].
+    pub attainment: f64,
+    /// Ops over target plus admission drops, run total.
+    pub bad_ops: u64,
+    /// Ops plus drops, run total.
+    pub total_ops: u64,
+    /// Burn-rate alert episodes, in firing order.
+    pub alerts: Vec<SloAlertReport>,
+}
+
+impl SloReport {
+    /// Package a recorder's [`deliba_sim::SloSummary`] for the report.
+    pub fn from_summary(s: &deliba_sim::SloSummary, cfg: &deliba_sim::TelemetryConfig) -> Self {
+        SloReport {
+            window_us: cfg.window.as_nanos() as f64 / 1_000.0,
+            target_p99_us: cfg.slo_p99.as_nanos() as f64 / 1_000.0,
+            objective: cfg.objective,
+            burn_threshold: cfg.burn_threshold,
+            windows: s.windows,
+            attained_windows: s.attained_windows,
+            attainment: s.attainment,
+            bad_ops: s.bad_ops,
+            total_ops: s.total_ops,
+            alerts: s
+                .alerts
+                .iter()
+                .map(|a| SloAlertReport {
+                    fired_us: a.fired.as_nanos() as f64 / 1_000.0,
+                    fired_window: a.fired_window,
+                    cleared_us: a.cleared.map(|t| t.as_nanos() as f64 / 1_000.0),
+                    cleared_window: a.cleared_window,
+                    peak_burn: a.peak_burn,
+                })
+                .collect(),
+        }
+    }
+}
+
 /// The outcome of one engine run (one bar in one figure).
 ///
 /// `Serialize`/`Deserialize` are hand-written (mirroring exactly what
@@ -348,6 +422,9 @@ pub struct RunReport {
     pub recovery: Option<RecoveryCounters>,
     /// Open-loop offered-load sweep (present only on `loadcurve` runs).
     pub load_curve: Option<LoadCurve>,
+    /// SLO attainment + burn-rate alerts (present only when the engine
+    /// ran with the telemetry plane armed).
+    pub slo: Option<SloReport>,
 }
 
 impl Serialize for RunReport {
@@ -382,6 +459,9 @@ impl Serialize for RunReport {
         if self.load_curve.is_some() {
             fields.push(("load_curve".to_string(), self.load_curve.serialize_value()));
         }
+        if self.slo.is_some() {
+            fields.push(("slo".to_string(), self.slo.serialize_value()));
+        }
         Value::Object(fields)
     }
 }
@@ -405,6 +485,7 @@ impl Deserialize for RunReport {
             resilience: Deserialize::deserialize_value(field("resilience"))?,
             recovery: Deserialize::deserialize_value(field("recovery"))?,
             load_curve: Deserialize::deserialize_value(field("load_curve"))?,
+            slo: Deserialize::deserialize_value(field("slo"))?,
         })
     }
 }
@@ -436,6 +517,7 @@ impl RunReport {
             resilience: None,
             recovery: None,
             load_curve: None,
+            slo: None,
         }
     }
 
@@ -510,7 +592,7 @@ mod tests {
     fn optional_sections_omitted_when_absent_and_round_trip_when_present() {
         let r = sample_report();
         let json = serde_json::to_string(&r).unwrap();
-        for key in ["breakdown", "counters", "resilience", "recovery", "load_curve"] {
+        for key in ["breakdown", "counters", "resilience", "recovery", "load_curve", "slo"] {
             assert!(
                 !json.contains(key),
                 "absent {key} must not appear in baseline JSON: {json}"
@@ -609,6 +691,54 @@ mod tests {
             "window_s", "load_curve", "arrival", "zipf_s", "admission_cap", "points",
             "offered_kiops", "achieved_kiops", "mean_us", "p50_us", "p99_us", "p999_us",
             "admitted", "dropped",
+        ];
+        let mut last = 0;
+        for key in order {
+            let pos = json.find(&format!("\"{key}\"")).expect(key);
+            assert!(pos >= last, "{key} out of order in {json}");
+            last = pos;
+        }
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn slo_section_round_trips_and_orders_last() {
+        let mut r = sample_report();
+        r.slo = Some(SloReport {
+            window_us: 500.0,
+            target_p99_us: 400.0,
+            objective: 0.99,
+            burn_threshold: 2.0,
+            windows: 40,
+            attained_windows: 36,
+            attainment: 0.9,
+            bad_ops: 120,
+            total_ops: 4000,
+            alerts: vec![
+                SloAlertReport {
+                    fired_us: 2_000.0,
+                    fired_window: 4,
+                    cleared_us: Some(4_500.0),
+                    cleared_window: Some(9),
+                    peak_burn: 7.5,
+                },
+                SloAlertReport {
+                    fired_us: 18_000.0,
+                    fired_window: 36,
+                    cleared_us: None,
+                    cleared_window: None,
+                    peak_burn: 3.0,
+                },
+            ],
+        });
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"slo\""));
+        // The slo section serializes after every other optional section.
+        let order = [
+            "window_s", "slo", "window_us", "target_p99_us", "objective", "burn_threshold",
+            "windows", "attained_windows", "attainment", "bad_ops", "total_ops", "alerts",
+            "fired_us", "fired_window", "cleared_us", "cleared_window", "peak_burn",
         ];
         let mut last = 0;
         for key in order {

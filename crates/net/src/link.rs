@@ -65,6 +65,12 @@ impl EthLink {
     pub fn utilization(&self, horizon: SimTime) -> f64 {
         self.bw.utilization(horizon)
     }
+
+    /// Cumulative serialization (busy) time — the telemetry plane
+    /// differences samples of this for per-window link utilization.
+    pub fn busy_time(&self) -> SimDuration {
+        self.bw.busy_time()
+    }
 }
 
 #[cfg(test)]

@@ -124,6 +124,25 @@ impl Topology {
     pub fn client_tx_utilization(&self, horizon: SimTime) -> f64 {
         self.client_tx.utilization(horizon)
     }
+
+    /// Cumulative busy time per link class, with the pipe count of each
+    /// class: `(client_tx, client_rx, server public tx+rx, cluster
+    /// tx+rx)`.  The telemetry plane differences consecutive samples
+    /// for per-window, per-class link utilization.
+    pub fn class_busy_times(&self) -> ([SimDuration; 4], [u32; 4]) {
+        let sum = |links: &[EthLink]| -> SimDuration {
+            links.iter().fold(SimDuration::ZERO, |acc, l| acc + l.busy_time())
+        };
+        let busy = [
+            self.client_tx.busy_time(),
+            self.client_rx.busy_time(),
+            sum(&self.server_tx) + sum(&self.server_rx),
+            sum(&self.cluster_tx) + sum(&self.cluster_rx),
+        ];
+        let n = self.servers() as u32;
+        let pipes = [1, 1, 2 * n, 2 * n];
+        (busy, pipes)
+    }
 }
 
 #[cfg(test)]

@@ -34,7 +34,11 @@
 //!   Chrome-trace export and worst-K span-chain reconstruction;
 //! * [`resource`] — queueing-theory building blocks (single/multi servers,
 //!   bandwidth pipes, token buckets) shared by the network, OSD, PCIe and
-//!   host-CPU models.
+//!   host-CPU models;
+//! * [`timeseries`] — the opt-in time-resolved telemetry plane
+//!   ([`TelemetryHandle`] / [`timeseries::MetricsRecorder`]):
+//!   fixed-width virtual-time windows of ops/latency/gauge series with
+//!   SLO burn-rate alerts and CSV/JSON/Prometheus/Chrome exporters.
 
 pub mod event;
 pub mod metrics;
@@ -44,6 +48,7 @@ pub mod rng;
 pub mod sharded;
 pub mod stage;
 pub mod time;
+pub mod timeseries;
 pub mod trace;
 
 pub use event::{EventQueue, Simulator};
@@ -53,6 +58,7 @@ pub use parexec::{
 pub use sharded::{LaneQueue, ShardedEventQueue, WindowStats};
 pub use metrics::{Counter, Histogram, Summary};
 pub use stage::{Stage, StageTracer};
+pub use timeseries::{GaugeSnapshot, SloAlert, SloSummary, TelemetryConfig, TelemetryHandle};
 pub use trace::{InstantKind, TraceDepth, TraceHandle, TraceLayer};
 pub use resource::{Bandwidth, MultiServer, Server, TokenBucket};
 pub use rng::{SimRng, SplitMix64, Xoshiro256};

@@ -169,6 +169,18 @@ impl Histogram {
         self.max_ns as f64
     }
 
+    /// Samples at or below `d` — the "good events" count of an SLO
+    /// whose target latency is `d`.  Counted on bucket granularity:
+    /// every sample in the bucket holding `d` counts as good, matching
+    /// the resolution [`Histogram::record`] stored it at.
+    pub fn count_le(&self, d: SimDuration) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let idx = Self::index(d.as_nanos()).min(self.counts.len() - 1);
+        self.counts[..=idx].iter().sum()
+    }
+
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {

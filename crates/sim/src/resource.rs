@@ -120,6 +120,12 @@ impl MultiServer {
         self.busy
     }
 
+    /// Servers still occupied at `at` — the instantaneous queue depth
+    /// the telemetry plane samples at window boundaries.
+    pub fn busy_at(&self, at: SimTime) -> u32 {
+        self.next_free.iter().filter(|&&t| t > at).count() as u32
+    }
+
     /// Mean utilization over `[0, horizon]`.
     pub fn utilization(&self, horizon: SimTime) -> f64 {
         if horizon.as_nanos() == 0 {
@@ -202,6 +208,13 @@ impl Bandwidth {
     /// Link utilization over `[0, horizon]`.
     pub fn utilization(&self, horizon: SimTime) -> f64 {
         self.pipe.utilization(horizon)
+    }
+
+    /// Cumulative serialization (busy) time of the pipe — the
+    /// telemetry plane differences consecutive samples of this for
+    /// per-window link utilization.
+    pub fn busy_time(&self) -> SimDuration {
+        self.pipe.busy_time()
     }
 
     /// Configured rate in bytes/second.
